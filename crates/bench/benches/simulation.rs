@@ -1,0 +1,51 @@
+//! Criterion benchmarks of the simulation infrastructure: event-queue
+//! throughput and the wall-clock cost of simulating full QPIP and
+//! socket-baseline transfers (how fast the reproduction itself runs).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use qpip::NicConfig;
+use qpip_bench::workloads::pingpong::{qpip_tcp_rtt, socket_tcp_rtt, Baseline};
+use qpip_bench::workloads::ttcp::qpip_ttcp;
+use qpip_sim::kernel::Simulator;
+use qpip_sim::time::SimDuration;
+
+fn bench_event_queue(c: &mut Criterion) {
+    let mut g = c.benchmark_group("des_kernel");
+    for n in [1_000u64, 100_000] {
+        g.throughput(Throughput::Elements(n));
+        g.bench_with_input(BenchmarkId::new("schedule_drain", n), &n, |b, &n| {
+            b.iter(|| {
+                let mut sim: Simulator<u64> = Simulator::new();
+                for i in 0..n {
+                    // pseudo-random but deterministic interleaving
+                    let t = (i * 2_654_435_761) % 1_000_000;
+                    sim.schedule_after(SimDuration::from_nanos(t), i);
+                }
+                let mut acc = 0u64;
+                while let Some((_, e)) = sim.next() {
+                    acc = acc.wrapping_add(e);
+                }
+                acc
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_full_system(c: &mut Criterion) {
+    let mut g = c.benchmark_group("full_system_sim");
+    g.sample_size(10);
+    g.bench_function("qpip_tcp_pingpong_20rounds", |b| {
+        b.iter(|| qpip_tcp_rtt(NicConfig::paper_default(), 1, 20))
+    });
+    g.bench_function("gige_tcp_pingpong_20rounds", |b| {
+        b.iter(|| socket_tcp_rtt(Baseline::GigE, 1, 20))
+    });
+    g.bench_function("qpip_ttcp_1mb", |b| {
+        b.iter(|| qpip_ttcp(NicConfig::paper_default(), 1024 * 1024, 16 * 1024))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_event_queue, bench_full_system);
+criterion_main!(benches);

@@ -1,0 +1,4 @@
+//! Benchmark workloads: the traffic generators behind every figure.
+
+pub mod pingpong;
+pub mod ttcp;

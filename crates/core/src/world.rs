@@ -1,0 +1,669 @@
+//! The full QPIP system: hosts with QPIP NICs on a switched SAN.
+//!
+//! [`QpipWorld`] owns the discrete-event loop that ties together the
+//! host CPU model (`qpip-host`), the intelligent NIC (`qpip-nic`) and
+//! the fabric (`qpip-fabric`), and exposes the **verbs API** of §4.1 —
+//! `post_send`, `post_recv`, `poll`, `wait` plus QP/CQ creation and
+//! connection management — with the host-side cycle costs of Table 1
+//! charged on every call.
+//!
+//! Applications written against this API read like the paper's
+//! pseudo-code: post receives, connect, post a send, wait on the CQ.
+
+use std::collections::{HashMap, VecDeque};
+use std::net::Ipv6Addr;
+
+use qpip_fabric::{Fabric, FabricConfig, TransmitOutcome};
+use qpip_host::cpu::{CpuLedger, WorkClass};
+use qpip_netstack::types::Endpoint;
+use qpip_nic::{
+    Completion, CqId, MrKey, NicConfig, NicError, NicOutput, QpId, QpipNic, RdmaReadWr,
+    RdmaWriteWr, RecvWr, SendWr, ServiceType,
+};
+use qpip_sim::kernel::{EventId, Simulator};
+use qpip_sim::params;
+use qpip_sim::time::{SimDuration, SimTime};
+
+/// Index of a node (host + NIC pair) in the world.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct NodeIdx(pub usize);
+
+/// Extra latency of the doorbell PIO write crossing PCI (posted write).
+const DOORBELL_PCI_LATENCY: SimDuration = SimDuration::from_nanos(200);
+
+#[derive(Debug)]
+enum WorldEvent {
+    Packet { node: usize, bytes: Vec<u8> },
+    Timer { node: usize },
+}
+
+struct Node {
+    nic: QpipNic,
+    cpu: CpuLedger,
+    /// When this node's application thread is next free.
+    app_time: SimTime,
+    cqs: HashMap<CqId, VecDeque<Completion>>,
+    fabric_id: qpip_fabric::NodeId,
+    timer_event: Option<(SimTime, EventId)>,
+}
+
+/// A simulated SAN of QPIP nodes.
+pub struct QpipWorld {
+    sim: Simulator<WorldEvent>,
+    fabric: Fabric,
+    nodes: Vec<Node>,
+}
+
+impl core::fmt::Debug for QpipWorld {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.debug_struct("QpipWorld")
+            .field("nodes", &self.nodes.len())
+            .field("now", &self.sim.now())
+            .finish()
+    }
+}
+
+impl QpipWorld {
+    /// Creates a world over the given fabric (usually
+    /// [`FabricConfig::myrinet`]).
+    pub fn new(fabric: FabricConfig) -> Self {
+        QpipWorld {
+            sim: Simulator::new(),
+            fabric: Fabric::new(fabric),
+            nodes: Vec::new(),
+        }
+    }
+
+    /// A Myrinet world with the QPIP native MTU (the paper's testbed).
+    pub fn myrinet() -> Self {
+        QpipWorld::new(FabricConfig::myrinet())
+    }
+
+    /// A Myrinet world whose fabric is a chain of `switches` switches.
+    pub fn myrinet_chain(switches: usize) -> Self {
+        QpipWorld {
+            sim: Simulator::new(),
+            fabric: Fabric::with_switches(FabricConfig::myrinet(), switches),
+            nodes: Vec::new(),
+        }
+    }
+
+    /// Adds a node with the given NIC configuration; its address is
+    /// `fc00::{n+1}`.
+    pub fn add_node(&mut self, nic_cfg: NicConfig) -> NodeIdx {
+        self.add_node_at(nic_cfg, 0)
+    }
+
+    /// Adds a node attached to a specific switch of a multi-switch
+    /// fabric.
+    pub fn add_node_at(&mut self, nic_cfg: NicConfig, switch: usize) -> NodeIdx {
+        let n = self.nodes.len();
+        let addr = Ipv6Addr::new(0xfc00, 0, 0, 0, 0, 0, 0, (n + 1) as u16);
+        let mut cfg = nic_cfg;
+        cfg.mtu = cfg.mtu.min(self.fabric.config().mtu);
+        let fabric_id = self.fabric.attach_at(addr, switch);
+        self.nodes.push(Node {
+            nic: QpipNic::new(cfg, addr),
+            cpu: CpuLedger::new(),
+            app_time: SimTime::ZERO,
+            cqs: HashMap::new(),
+            fabric_id,
+            timer_event: None,
+        });
+        NodeIdx(n)
+    }
+
+    /// The IPv6 address of a node.
+    pub fn addr(&self, node: NodeIdx) -> Ipv6Addr {
+        self.nodes[node.0].nic.addr()
+    }
+
+    /// Current simulated time.
+    pub fn now(&self) -> SimTime {
+        self.sim.now()
+    }
+
+    /// A node's application-thread clock.
+    pub fn app_time(&self, node: NodeIdx) -> SimTime {
+        self.nodes[node.0].app_time
+    }
+
+    /// Host CPU ledger of a node (utilization, cycle breakdown).
+    pub fn cpu(&self, node: NodeIdx) -> &CpuLedger {
+        &self.nodes[node.0].cpu
+    }
+
+    /// Charges application-level cycles on a node (benchmark loop
+    /// bodies, filesystem work in NBD).
+    pub fn charge_app(&mut self, node: NodeIdx, cycles: u64) {
+        let n = &mut self.nodes[node.0];
+        n.app_time = n.cpu.charge(n.app_time, WorkClass::App, cycles);
+    }
+
+    /// NIC access for instrumentation (occupancy tables, stats).
+    pub fn nic(&self, node: NodeIdx) -> &QpipNic {
+        &self.nodes[node.0].nic
+    }
+
+    /// Mutable NIC access (resetting occupancy between phases).
+    pub fn nic_mut(&mut self, node: NodeIdx) -> &mut QpipNic {
+        &mut self.nodes[node.0].nic
+    }
+
+    /// Fabric statistics.
+    pub fn fabric(&self) -> &Fabric {
+        &self.fabric
+    }
+
+    /// Installs a fault plan on the fabric (tests).
+    pub fn set_fault_plan(&mut self, plan: qpip_fabric::FaultPlan) {
+        self.fabric.set_fault_plan(plan);
+    }
+
+    // ----- management verbs ------------------------------------------------
+
+    /// Creates a completion queue on a node.
+    pub fn create_cq(&mut self, node: NodeIdx) -> CqId {
+        let cq = self.nodes[node.0].nic.create_cq();
+        self.nodes[node.0].cqs.insert(cq, VecDeque::new());
+        cq
+    }
+
+    /// Creates a queue pair on a node.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`NicError`] for invalid CQ handles.
+    pub fn create_qp(
+        &mut self,
+        node: NodeIdx,
+        service: ServiceType,
+        send_cq: CqId,
+        recv_cq: CqId,
+    ) -> Result<QpId, NicError> {
+        self.nodes[node.0].nic.create_qp(service, send_cq, recv_cq)
+    }
+
+    /// Binds a UDP QP to a port.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`NicError`].
+    pub fn udp_bind(&mut self, node: NodeIdx, qp: QpId, port: u16) -> Result<(), NicError> {
+        self.nodes[node.0].nic.udp_bind(qp, port)
+    }
+
+    /// Monitors a TCP port, queuing `qp` for the next incoming
+    /// connection (§3's rendezvous).
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`NicError`].
+    pub fn tcp_listen(&mut self, node: NodeIdx, port: u16, qp: QpId) -> Result<(), NicError> {
+        self.nodes[node.0].nic.tcp_listen(port, qp)
+    }
+
+    /// Starts a connection from a node's QP.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`NicError`].
+    pub fn tcp_connect(
+        &mut self,
+        node: NodeIdx,
+        qp: QpId,
+        local_port: u16,
+        remote: Endpoint,
+    ) -> Result<(), NicError> {
+        let t = self.verbs_preamble(node, params::QPIP_BUILD_WR_CYCLES);
+        let db = t + DOORBELL_PCI_LATENCY;
+        self.pump_until_time(db);
+        let outs = self.nodes[node.0].nic.tcp_connect(db, qp, local_port, remote)?;
+        self.absorb(node.0, outs);
+        Ok(())
+    }
+
+    // ----- data verbs ---------------------------------------------------------
+
+    /// Posts a send work request (Table 1: build WR + ring doorbell on
+    /// the host; everything else happens on the NIC).
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`NicError`].
+    pub fn post_send(&mut self, node: NodeIdx, qp: QpId, wr: SendWr) -> Result<(), NicError> {
+        let t = self.verbs_preamble(node, params::QPIP_BUILD_WR_CYCLES);
+        let db = t + DOORBELL_PCI_LATENCY;
+        self.pump_until_time(db);
+        let outs = self.nodes[node.0].nic.post_send(db, qp, wr)?;
+        self.absorb(node.0, outs);
+        Ok(())
+    }
+
+    /// Registers host memory on a node for remote access (the RDMA
+    /// transaction class, §2.1). The returned key is shared with peers
+    /// out of band — typically via a send-receive message, exactly as
+    /// the paper prescribes.
+    pub fn register_mr(&mut self, node: NodeIdx, len: usize) -> MrKey {
+        self.nodes[node.0].nic.register_mr(len)
+    }
+
+    /// Host-side write into a locally registered region.
+    pub fn mr_write(&mut self, node: NodeIdx, key: MrKey, offset: usize, data: &[u8]) {
+        self.nodes[node.0].nic.mr_write(key, offset, data);
+    }
+
+    /// Host-side read of a locally registered region.
+    pub fn mr_read(&self, node: NodeIdx, key: MrKey, offset: usize, len: usize) -> Vec<u8> {
+        self.nodes[node.0].nic.mr_read(key, offset, len)
+    }
+
+    /// Posts an RDMA Write work request.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`NicError`] (requires an RDMA-enabled NIC).
+    pub fn post_rdma_write(
+        &mut self,
+        node: NodeIdx,
+        qp: QpId,
+        wr: RdmaWriteWr,
+    ) -> Result<(), NicError> {
+        let t = self.verbs_preamble(node, params::QPIP_BUILD_WR_CYCLES);
+        let db = t + DOORBELL_PCI_LATENCY;
+        self.pump_until_time(db);
+        let outs = self.nodes[node.0].nic.post_rdma_write(db, qp, wr)?;
+        self.absorb(node.0, outs);
+        Ok(())
+    }
+
+    /// Posts an RDMA Read work request.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`NicError`] (requires an RDMA-enabled NIC).
+    pub fn post_rdma_read(
+        &mut self,
+        node: NodeIdx,
+        qp: QpId,
+        wr: RdmaReadWr,
+    ) -> Result<(), NicError> {
+        let t = self.verbs_preamble(node, params::QPIP_BUILD_WR_CYCLES);
+        let db = t + DOORBELL_PCI_LATENCY;
+        self.pump_until_time(db);
+        let outs = self.nodes[node.0].nic.post_rdma_read(db, qp, wr)?;
+        self.absorb(node.0, outs);
+        Ok(())
+    }
+
+    /// Posts a receive work request.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`NicError`].
+    pub fn post_recv(&mut self, node: NodeIdx, qp: QpId, wr: RecvWr) -> Result<(), NicError> {
+        let t = self.verbs_preamble(node, params::QPIP_BUILD_WR_CYCLES);
+        let db = t + DOORBELL_PCI_LATENCY;
+        self.pump_until_time(db);
+        let outs = self.nodes[node.0].nic.post_recv(db, qp, wr)?;
+        self.absorb(node.0, outs);
+        Ok(())
+    }
+
+    /// Polls a CQ once. A hit charges the cache-resident poll cost; a
+    /// miss charges one spin iteration (§5.1: pollers spin in the
+    /// processor cache).
+    pub fn poll(&mut self, node: NodeIdx, cq: CqId) -> Option<Completion> {
+        self.pump_ready(node);
+        let app_time = self.nodes[node.0].app_time;
+        let head_visible = self.nodes[node.0]
+            .cqs
+            .get(&cq)
+            .and_then(|q| q.front())
+            .map(|c| c.visible_at);
+        match head_visible {
+            Some(v) if v <= app_time => {
+                let n = &mut self.nodes[node.0];
+                n.app_time = n.cpu.charge(n.app_time, WorkClass::Verbs, params::QPIP_POLL_HIT_CYCLES);
+                Some(n.cqs.get_mut(&cq).expect("cq exists").pop_front().expect("head"))
+            }
+            _ => {
+                let n = &mut self.nodes[node.0];
+                n.app_time =
+                    n.cpu.charge(n.app_time, WorkClass::Verbs, params::QPIP_POLL_MISS_CYCLES);
+                None
+            }
+        }
+    }
+
+    /// Blocks the application until the CQ delivers an entry: the thread
+    /// sleeps (no CPU burned while idle — how ttcp achieves < 1 %
+    /// utilization in Figure 4) and is woken when the entry lands.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the simulation runs dry with nothing to deliver —
+    /// a deadlocked workload is a bug in the caller.
+    pub fn wait(&mut self, node: NodeIdx, cq: CqId) -> Completion {
+        loop {
+            // take a visible head entry if one exists
+            let app_time = self.nodes[node.0].app_time;
+            if let Some(head) = self.nodes[node.0].cqs.get(&cq).and_then(|q| q.front()) {
+                let visible = head.visible_at;
+                let n = &mut self.nodes[node.0];
+                // sleep until the entry lands, then pay the poll that
+                // finds it
+                n.app_time = n.cpu.charge(
+                    app_time.max(visible),
+                    WorkClass::Verbs,
+                    params::QPIP_POLL_HIT_CYCLES,
+                );
+                return n.cqs.get_mut(&cq).expect("cq").pop_front().expect("head");
+            }
+            assert!(
+                self.step(),
+                "wait() deadlocked: no events pending and {cq} empty on node {}",
+                node.0
+            );
+        }
+    }
+
+    /// Consumes the head CQ entry if one has been produced, sleeping
+    /// forward to its visibility instant (no spin cycles). Returns
+    /// `None` when the CQ is empty — the non-blocking companion of
+    /// [`QpipWorld::wait`] for callers juggling several queues.
+    pub fn try_wait(&mut self, node: NodeIdx, cq: CqId) -> Option<Completion> {
+        self.pump_ready(node);
+        let head_visible = self.nodes[node.0]
+            .cqs
+            .get(&cq)
+            .and_then(|q| q.front())
+            .map(|c| c.visible_at)?;
+        let n = &mut self.nodes[node.0];
+        n.app_time = n.cpu.charge(
+            n.app_time.max(head_visible),
+            WorkClass::Verbs,
+            params::QPIP_POLL_HIT_CYCLES,
+        );
+        n.cqs.get_mut(&cq).expect("cq").pop_front()
+    }
+
+    /// Convenience: wait until a completion matching the predicate
+    /// arrives on `cq`; non-matching entries are consumed and discarded.
+    pub fn wait_matching(
+        &mut self,
+        node: NodeIdx,
+        cq: CqId,
+        mut pred: impl FnMut(&Completion) -> bool,
+    ) -> Completion {
+        loop {
+            let c = self.wait(node, cq);
+            if pred(&c) {
+                return c;
+            }
+        }
+    }
+
+    // ----- event loop -----------------------------------------------------------
+
+    /// Processes one simulation event; `false` when idle.
+    pub fn step(&mut self) -> bool {
+        let Some((t, ev)) = self.sim.next() else {
+            return false;
+        };
+        match ev {
+            WorldEvent::Packet { node, bytes } => {
+                let outs = self.nodes[node].nic.on_packet(t, &bytes);
+                self.absorb(node, outs);
+            }
+            WorldEvent::Timer { node } => {
+                self.nodes[node].timer_event = None;
+                let outs = self.nodes[node].nic.on_timer(t);
+                self.absorb(node, outs);
+            }
+        }
+        true
+    }
+
+    /// Runs the event loop until nothing is pending.
+    pub fn run_until_idle(&mut self) {
+        while self.step() {}
+    }
+
+    fn pump_until_time(&mut self, t: SimTime) {
+        while let Some(next) = self.sim.peek_time() {
+            if next > t {
+                break;
+            }
+            self.step();
+        }
+    }
+
+    /// Drains events that are already due relative to the node's app
+    /// clock (so polls observe everything that "has happened").
+    fn pump_ready(&mut self, node: NodeIdx) {
+        let t = self.nodes[node.0].app_time;
+        self.pump_until_time(t);
+    }
+
+    fn verbs_preamble(&mut self, node: NodeIdx, build_cycles: u64) -> SimTime {
+        let n = &mut self.nodes[node.0];
+        // the app cannot act before the sim's current instant
+        n.app_time = n.app_time.max(self.sim.now());
+        let t = n.cpu.charge(n.app_time, WorkClass::Verbs, build_cycles);
+        let t = n.cpu.charge(t, WorkClass::Verbs, params::QPIP_DOORBELL_CYCLES);
+        n.app_time = t;
+        t
+    }
+
+    fn absorb(&mut self, node: usize, outs: Vec<NicOutput>) {
+        for o in outs {
+            match o {
+                NicOutput::Transmit { at, dst, bytes, .. } => {
+                    let from = self.nodes[node].fabric_id;
+                    match self.fabric.transmit(at, from, dst, bytes.len()) {
+                        TransmitOutcome::Delivered { to, at: arrive, marked } => {
+                            let dest = self
+                                .nodes
+                                .iter()
+                                .position(|n| n.fabric_id == to)
+                                .expect("fabric node is a world node");
+                            // RED/ECN: the switch marks ECN-capable
+                            // packets instead of dropping (§5.2)
+                            let mut bytes = bytes;
+                            if marked
+                                && qpip_wire::ipv6::Ipv6Header::ecn_of_packet(&bytes)
+                                    == qpip_wire::ipv6::Ecn::Capable
+                            {
+                                qpip_wire::ipv6::Ipv6Header::set_ecn_in_packet(
+                                    &mut bytes,
+                                    qpip_wire::ipv6::Ecn::CongestionExperienced,
+                                );
+                            }
+                            // deliveries cannot be scheduled into the past
+                            let arrive = arrive.max(self.sim.now());
+                            self.sim
+                                .schedule_at(arrive, WorldEvent::Packet { node: dest, bytes });
+                        }
+                        TransmitOutcome::Dropped(_) => {}
+                    }
+                }
+                NicOutput::Complete(cq, c) => {
+                    self.nodes[node]
+                        .cqs
+                        .entry(cq)
+                        .or_default()
+                        .push_back(c);
+                }
+            }
+        }
+        self.refresh_timer(node);
+    }
+
+    fn refresh_timer(&mut self, node: usize) {
+        let deadline = self.nodes[node].nic.next_deadline();
+        let current = self.nodes[node].timer_event;
+        match (deadline, current) {
+            (Some(d), Some((t, _))) if t <= d => {} // existing timer fires first
+            (Some(d), existing) => {
+                if let Some((_, id)) = existing {
+                    self.sim.cancel(id);
+                }
+                let at = d.max(self.sim.now());
+                let id = self.sim.schedule_at(at, WorldEvent::Timer { node });
+                self.nodes[node].timer_event = Some((at, id));
+            }
+            (None, Some((_, id))) => {
+                self.sim.cancel(id);
+                self.nodes[node].timer_event = None;
+            }
+            (None, None) => {}
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qpip_nic::CompletionKind;
+
+    /// Two nodes, TCP QPs, full verb-level exchange.
+    fn connected_world() -> (QpipWorld, NodeIdx, NodeIdx, QpId, QpId, CqId, CqId) {
+        let mut w = QpipWorld::myrinet();
+        let a = w.add_node(NicConfig::paper_default());
+        let b = w.add_node(NicConfig::paper_default());
+        let cqa = w.create_cq(a);
+        let cqb = w.create_cq(b);
+        let qa = w.create_qp(a, ServiceType::ReliableTcp, cqa, cqa).unwrap();
+        let qb = w.create_qp(b, ServiceType::ReliableTcp, cqb, cqb).unwrap();
+        for i in 0..8 {
+            w.post_recv(b, qb, RecvWr { wr_id: 100 + i, capacity: 16 * 1024 }).unwrap();
+            w.post_recv(a, qa, RecvWr { wr_id: 200 + i, capacity: 16 * 1024 }).unwrap();
+        }
+        w.tcp_listen(b, 5000, qb).unwrap();
+        let remote = Endpoint::new(w.addr(b), 5000);
+        w.tcp_connect(a, qa, 4000, remote).unwrap();
+        let c = w.wait(a, cqa);
+        assert_eq!(c.kind, CompletionKind::ConnectionEstablished);
+        let c = w.wait(b, cqb);
+        assert_eq!(c.kind, CompletionKind::ConnectionEstablished);
+        (w, a, b, qa, qb, cqa, cqb)
+    }
+
+    #[test]
+    fn verbs_level_message_exchange() {
+        let (mut w, a, b, qa, _qb, cqa, cqb) = connected_world();
+        w.post_send(a, qa, SendWr { wr_id: 1, payload: vec![7; 4096], dst: None }).unwrap();
+        // receiver blocks until the message lands
+        let c = w.wait(b, cqb);
+        match c.kind {
+            CompletionKind::Recv { data, .. } => assert_eq!(data, vec![7; 4096]),
+            k => panic!("{k:?}"),
+        }
+        // sender's completion arrives once the data is acknowledged
+        let c = w.wait(a, cqa);
+        assert_eq!(c.kind, CompletionKind::Send);
+        assert_eq!(c.wr_id, 1);
+    }
+
+    #[test]
+    fn ping_pong_round_trip_time_is_tens_of_microseconds() {
+        let (mut w, a, b, qa, qb, cqa, cqb) = connected_world();
+        // warm up one round
+        w.post_send(a, qa, SendWr { wr_id: 1, payload: vec![0], dst: None }).unwrap();
+        w.wait_matching(b, cqb, |c| matches!(c.kind, CompletionKind::Recv { .. }));
+        w.post_send(b, qb, SendWr { wr_id: 2, payload: vec![0], dst: None }).unwrap();
+        w.wait_matching(a, cqa, |c| matches!(c.kind, CompletionKind::Recv { .. }));
+        // timed round
+        let t0 = w.app_time(a);
+        w.post_send(a, qa, SendWr { wr_id: 3, payload: vec![0], dst: None }).unwrap();
+        w.wait_matching(b, cqb, |c| matches!(c.kind, CompletionKind::Recv { .. }));
+        w.post_send(b, qb, SendWr { wr_id: 4, payload: vec![0], dst: None }).unwrap();
+        w.wait_matching(a, cqa, |c| matches!(c.kind, CompletionKind::Recv { .. }));
+        let rtt = w.app_time(a).duration_since(t0).as_micros_f64();
+        assert!((40.0..180.0).contains(&rtt), "rtt {rtt} µs");
+    }
+
+    #[test]
+    fn poll_miss_charges_spin_and_hit_returns_entry() {
+        let (mut w, a, b, qa, _qb, _cqa, cqb) = connected_world();
+        let spin_before = w.cpu(b).cycles(WorkClass::Verbs);
+        assert!(w.poll(b, cqb).is_none());
+        assert!(w.cpu(b).cycles(WorkClass::Verbs) > spin_before);
+        w.post_send(a, qa, SendWr { wr_id: 1, payload: vec![1], dst: None }).unwrap();
+        w.run_until_idle();
+        // advance the app clock past delivery by spinning
+        let mut got = None;
+        for _ in 0..100_000 {
+            if let Some(c) = w.poll(b, cqb) {
+                got = Some(c);
+                break;
+            }
+        }
+        let c = got.expect("poll eventually hits");
+        assert!(matches!(c.kind, CompletionKind::Recv { .. }));
+    }
+
+    #[test]
+    fn host_cpu_work_is_only_verbs_calls() {
+        let (mut w, a, b, qa, qb, cqa, cqb) = connected_world();
+        for i in 0..10 {
+            // keep the receive queue topped up (8 were pre-posted)
+            w.post_recv(b, qb, RecvWr { wr_id: 300 + i, capacity: 16 * 1024 }).unwrap();
+            w.post_send(a, qa, SendWr { wr_id: i, payload: vec![0; 8192], dst: None }).unwrap();
+            w.wait_matching(b, cqb, |c| matches!(c.kind, CompletionKind::Recv { .. }));
+            w.wait_matching(a, cqa, |c| c.kind == CompletionKind::Send);
+        }
+        let cpu = w.cpu(a);
+        assert_eq!(cpu.cycles(WorkClass::Protocol), 0, "no host protocol work");
+        assert_eq!(cpu.cycles(WorkClass::Interrupt), 0, "no interrupts");
+        // the verbs path is Table 1 sized: ~806 cycles per message pair
+        let verbs = cpu.cycles(WorkClass::Verbs);
+        assert!(verbs < 30_000, "{verbs} cycles for 10 sends is too much");
+    }
+
+    #[test]
+    fn udp_qps_exchange_datagrams() {
+        let mut w = QpipWorld::myrinet();
+        let a = w.add_node(NicConfig::paper_default());
+        let b = w.add_node(NicConfig::paper_default());
+        let cqa = w.create_cq(a);
+        let cqb = w.create_cq(b);
+        let qa = w.create_qp(a, ServiceType::UnreliableUdp, cqa, cqa).unwrap();
+        let qb = w.create_qp(b, ServiceType::UnreliableUdp, cqb, cqb).unwrap();
+        w.udp_bind(a, qa, 9000).unwrap();
+        w.udp_bind(b, qb, 9001).unwrap();
+        w.post_recv(b, qb, RecvWr { wr_id: 5, capacity: 1024 }).unwrap();
+        let dst = Endpoint::new(w.addr(b), 9001);
+        w.post_send(a, qa, SendWr { wr_id: 1, payload: b"dgram".to_vec(), dst: Some(dst) })
+            .unwrap();
+        // UDP send completes immediately
+        let c = w.wait(a, cqa);
+        assert_eq!(c.kind, CompletionKind::Send);
+        let c = w.wait(b, cqb);
+        match c.kind {
+            CompletionKind::Recv { data, src } => {
+                assert_eq!(data, b"dgram");
+                assert_eq!(src.unwrap().port, 9000);
+            }
+            k => panic!("{k:?}"),
+        }
+    }
+
+    #[test]
+    fn loss_on_fabric_is_recovered_transparently() {
+        let (mut w, a, b, qa, _qb, cqa, cqb) = connected_world();
+        // drop the next packet on the fabric (the fresh injector indexes
+        // from zero): that is the data segment of the send below
+        w.set_fault_plan(qpip_fabric::FaultPlan::DropIndices(vec![0]));
+        w.post_send(a, qa, SendWr { wr_id: 77, payload: vec![9; 2048], dst: None }).unwrap();
+        let c = w.wait_matching(b, cqb, |c| matches!(c.kind, CompletionKind::Recv { .. }));
+        match c.kind {
+            CompletionKind::Recv { data, .. } => assert_eq!(data, vec![9; 2048]),
+            _ => unreachable!(),
+        }
+        let c = w.wait_matching(a, cqa, |c| c.kind == CompletionKind::Send);
+        assert_eq!(c.wr_id, 77);
+        assert!(w.nic(a).retransmissions() >= 1, "loss forced a retransmission");
+    }
+}

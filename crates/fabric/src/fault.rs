@@ -1,0 +1,131 @@
+//! Deterministic fault injection for the fabric: packet drops and
+//! corruption used by the failure-injection test suites.
+//!
+//! The paper's environment assumes "the network to be robust and packet
+//! loss or reordering seldom occurs" (§4.1); the benchmarks therefore run
+//! with [`FaultPlan::None`]. The TCP recovery paths still need exercise,
+//! which is what the other plans are for.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// What happens to each packet crossing the fabric.
+#[derive(Debug, Clone)]
+pub enum FaultPlan {
+    /// Lossless (the SAN common case, §4.1).
+    None,
+    /// Drop the packets whose global indices appear in the list.
+    DropIndices(Vec<u64>),
+    /// Drop every `n`-th packet (1-based: `n = 4` drops #3, #7, …).
+    DropEveryNth(u64),
+    /// Drop each packet independently with probability `permille`/1000,
+    /// from a seeded deterministic stream.
+    DropRandom {
+        /// Loss probability in thousandths.
+        permille: u32,
+        /// RNG seed.
+        seed: u64,
+    },
+}
+
+/// Per-packet fault decisions with counters.
+#[derive(Debug)]
+pub struct FaultInjector {
+    plan: FaultPlan,
+    rng: StdRng,
+    index: u64,
+    dropped: u64,
+}
+
+impl FaultInjector {
+    /// Creates an injector following `plan`.
+    pub fn new(plan: FaultPlan) -> Self {
+        let seed = match &plan {
+            FaultPlan::DropRandom { seed, .. } => *seed,
+            _ => 0,
+        };
+        FaultInjector {
+            plan,
+            rng: StdRng::seed_from_u64(seed),
+            index: 0,
+            dropped: 0,
+        }
+    }
+
+    /// Decides the fate of the next packet: `true` means drop.
+    pub fn should_drop(&mut self) -> bool {
+        let idx = self.index;
+        self.index += 1;
+        let drop = match &self.plan {
+            FaultPlan::None => false,
+            FaultPlan::DropIndices(list) => list.contains(&idx),
+            FaultPlan::DropEveryNth(n) => *n > 0 && (idx + 1).is_multiple_of(*n),
+            FaultPlan::DropRandom { permille, .. } => {
+                self.rng.gen_range(0u32..1000) < *permille
+            }
+        };
+        if drop {
+            self.dropped += 1;
+        }
+        drop
+    }
+
+    /// Packets inspected so far.
+    pub fn packets_seen(&self) -> u64 {
+        self.index
+    }
+
+    /// Packets dropped so far.
+    pub fn packets_dropped(&self) -> u64 {
+        self.dropped
+    }
+}
+
+impl Default for FaultInjector {
+    fn default() -> Self {
+        FaultInjector::new(FaultPlan::None)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn none_never_drops() {
+        let mut f = FaultInjector::new(FaultPlan::None);
+        assert!((0..1000).all(|_| !f.should_drop()));
+        assert_eq!(f.packets_dropped(), 0);
+        assert_eq!(f.packets_seen(), 1000);
+    }
+
+    #[test]
+    fn drop_indices_hits_exactly_those() {
+        let mut f = FaultInjector::new(FaultPlan::DropIndices(vec![0, 3]));
+        let fates: Vec<bool> = (0..5).map(|_| f.should_drop()).collect();
+        assert_eq!(fates, vec![true, false, false, true, false]);
+        assert_eq!(f.packets_dropped(), 2);
+    }
+
+    #[test]
+    fn every_nth_is_periodic() {
+        let mut f = FaultInjector::new(FaultPlan::DropEveryNth(3));
+        let fates: Vec<bool> = (0..9).map(|_| f.should_drop()).collect();
+        assert_eq!(
+            fates,
+            vec![false, false, true, false, false, true, false, false, true]
+        );
+    }
+
+    #[test]
+    fn random_is_deterministic_per_seed_and_roughly_calibrated() {
+        let run = |seed| {
+            let mut f = FaultInjector::new(FaultPlan::DropRandom { permille: 100, seed });
+            (0..10_000).filter(|_| f.should_drop()).count()
+        };
+        assert_eq!(run(42), run(42), "same seed, same fate sequence");
+        let drops = run(42);
+        assert!((800..1200).contains(&drops), "≈10% loss, got {drops}");
+        assert_ne!(run(42), run(43), "different seeds differ (overwhelmingly)");
+    }
+}

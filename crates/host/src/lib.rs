@@ -1,0 +1,22 @@
+//! # qpip-host — the host system model and socket baseline
+//!
+//! Models the paper's Dell PowerEdge 6350 host (§4.2): a 550 MHz
+//! Pentium III CPU ledger with categorized cycle accounting
+//! ([`cpu::CpuLedger`]) and a Linux-2.4-class socket stack
+//! ([`stack::HostStack`]) running the *same* protocol engine as the
+//! QPIP firmware — just on the host CPU, behind syscalls, copies,
+//! softirqs and interrupts.
+//!
+//! This is the baseline side of every comparison in the paper: IP over
+//! Gigabit Ethernet and IP over Myrinet (GM) for Figures 3, 4 and 7,
+//! and the loopback configuration that produces Table 1's host-overhead
+//! row.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cpu;
+pub mod stack;
+
+pub use cpu::{CpuLedger, WorkClass};
+pub use stack::{HostOutput, HostStack, SendOutcome, SockError, SockId, StackConfig};

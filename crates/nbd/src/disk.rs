@@ -1,0 +1,178 @@
+//! The server-side storage model: a page-cached file with concurrent
+//! writeback to a backing disk.
+//!
+//! §4.2.3's benchmark writes and reads a 409 MB file; the server is a
+//! user-level process on a 1 GB machine, so the file stays cache-warm —
+//! reads are memory-speed (CPU-charged copies), writes land in the cache
+//! and trickle to the disk at the writeback rate, and the client's
+//! closing `sync` waits for the writeback tail.
+
+use qpip_sim::params;
+use qpip_sim::resource::BandwidthPipe;
+use qpip_sim::time::SimTime;
+
+/// The emulated network-attached disk behind the NBD server.
+///
+/// Timing-only by default (benchmarks move hundreds of megabytes);
+/// [`ServerDisk::with_content`] additionally retains the written bytes
+/// so integrity tests can read them back.
+///
+/// # Examples
+///
+/// ```
+/// use qpip_nbd::disk::ServerDisk;
+/// use qpip_sim::time::SimTime;
+///
+/// let mut disk = ServerDisk::with_content();
+/// disk.write_data(SimTime::ZERO, 4096, b"block");
+/// assert_eq!(disk.read_data(SimTime::ZERO, 4096, 5), b"block");
+/// assert!(disk.sync_done() > SimTime::ZERO); // writeback in flight
+/// ```
+#[derive(Debug)]
+pub struct ServerDisk {
+    writeback: BandwidthPipe,
+    bytes_written: u64,
+    bytes_read: u64,
+    /// Written extents by offset, kept only in content mode.
+    content: Option<std::collections::BTreeMap<u64, Vec<u8>>>,
+}
+
+impl ServerDisk {
+    /// Creates a timing-only disk with the default writeback rate.
+    pub fn new() -> Self {
+        ServerDisk {
+            writeback: BandwidthPipe::new("nbd-disk", params::NBD_DISK_BYTES_PER_SEC),
+            bytes_written: 0,
+            bytes_read: 0,
+            content: None,
+        }
+    }
+
+    /// Creates a disk that also stores written bytes (integrity tests).
+    pub fn with_content() -> Self {
+        ServerDisk {
+            content: Some(std::collections::BTreeMap::new()),
+            ..ServerDisk::new()
+        }
+    }
+
+    /// Accepts a write of `len` bytes at `now`: it is durable in the
+    /// page cache immediately (the reply can go out); writeback proceeds
+    /// in the background.
+    pub fn write(&mut self, now: SimTime, len: usize) {
+        self.bytes_written += len as u64;
+        self.writeback.transfer(now, len as u64);
+    }
+
+    /// Accepts a write and stores its bytes (content mode).
+    pub fn write_data(&mut self, now: SimTime, offset: u64, data: &[u8]) {
+        self.write(now, data.len());
+        if let Some(map) = &mut self.content {
+            map.insert(offset, data.to_vec());
+        }
+    }
+
+    /// Serves a read of `len` bytes: cache-warm, no media time.
+    pub fn read(&mut self, _now: SimTime, len: usize) {
+        self.bytes_read += len as u64;
+    }
+
+    /// Serves a read and returns the stored bytes (content mode;
+    /// unwritten ranges read as zeros). Only whole previously-written
+    /// extents are stitched; partial overlaps read as zeros, which is
+    /// all the block-aligned NBD workloads need.
+    pub fn read_data(&mut self, now: SimTime, offset: u64, len: usize) -> Vec<u8> {
+        self.read(now, len);
+        let mut out = vec![0u8; len];
+        if let Some(map) = &self.content {
+            for (&off, data) in map.range(..offset + len as u64) {
+                let end = off + data.len() as u64;
+                if end <= offset {
+                    continue;
+                }
+                let copy_start = off.max(offset);
+                let copy_end = end.min(offset + len as u64);
+                let src = &data[(copy_start - off) as usize..(copy_end - off) as usize];
+                out[(copy_start - offset) as usize..(copy_end - offset) as usize]
+                    .copy_from_slice(src);
+            }
+        }
+        out
+    }
+
+    /// When all accepted writes are on the media (what `sync` waits for).
+    pub fn sync_done(&self) -> SimTime {
+        self.writeback.next_free()
+    }
+
+    /// Total bytes written.
+    pub fn bytes_written(&self) -> u64 {
+        self.bytes_written
+    }
+
+    /// Total bytes read.
+    pub fn bytes_read(&self) -> u64 {
+        self.bytes_read
+    }
+}
+
+impl Default for ServerDisk {
+    fn default() -> Self {
+        ServerDisk::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qpip_sim::time::SimDuration;
+
+    #[test]
+    fn writeback_trails_writes_at_disk_rate() {
+        let mut d = ServerDisk::new();
+        d.write(SimTime::ZERO, 10_000_000); // 10 MB
+        // 10 MB at 100 MB/s = 100 ms
+        assert_eq!(d.sync_done(), SimTime::ZERO + SimDuration::from_millis(100));
+        assert_eq!(d.bytes_written(), 10_000_000);
+    }
+
+    #[test]
+    fn concurrent_writeback_overlaps_with_arrivals() {
+        let mut d = ServerDisk::new();
+        d.write(SimTime::ZERO, 5_000_000);
+        // second write arrives while the first is still flushing
+        d.write(SimTime::from_millis(10), 5_000_000);
+        assert_eq!(d.sync_done(), SimTime::from_millis(100));
+    }
+
+    #[test]
+    fn reads_cost_no_media_time() {
+        let mut d = ServerDisk::new();
+        d.read(SimTime::ZERO, 1_000_000);
+        assert_eq!(d.sync_done(), SimTime::ZERO);
+        assert_eq!(d.bytes_read(), 1_000_000);
+    }
+
+    #[test]
+    fn content_mode_stores_and_returns_bytes() {
+        let mut d = ServerDisk::with_content();
+        d.write_data(SimTime::ZERO, 0, b"hello");
+        d.write_data(SimTime::ZERO, 100, b"world");
+        assert_eq!(d.read_data(SimTime::ZERO, 0, 5), b"hello");
+        assert_eq!(d.read_data(SimTime::ZERO, 100, 5), b"world");
+        // unwritten gap reads as zeros
+        assert_eq!(d.read_data(SimTime::ZERO, 50, 4), vec![0; 4]);
+        // a read spanning written and unwritten ranges stitches both
+        let span = d.read_data(SimTime::ZERO, 98, 9);
+        assert_eq!(&span[2..7], b"world");
+        assert_eq!(&span[..2], &[0, 0]);
+    }
+
+    #[test]
+    fn timing_only_mode_reads_zeros() {
+        let mut d = ServerDisk::new();
+        d.write_data(SimTime::ZERO, 0, b"dropped");
+        assert_eq!(d.read_data(SimTime::ZERO, 0, 7), vec![0; 7]);
+        assert_eq!(d.bytes_written(), 7, "timing still accounted");
+    }
+}

@@ -1,0 +1,27 @@
+//! Measurement record shared by both NBD implementations.
+
+/// Outcome of one sequential NBD phase (read or write).
+#[derive(Debug, Clone, Copy)]
+pub struct PhaseResult {
+    /// Goodput in MB/s (10⁶ bytes per second of file data).
+    pub mbytes_per_sec: f64,
+    /// Client CPU utilization during the phase (fraction of one CPU).
+    pub client_cpu: f64,
+    /// CPU effectiveness: MB transferred per client CPU-second (the
+    /// y2-axis of Figure 7).
+    pub mb_per_cpu_sec: f64,
+    /// Fraction of client busy cycles spent in filesystem processing
+    /// (the ≥ 26 % floor of §4.2.3).
+    pub fs_fraction: f64,
+    /// Elapsed simulated seconds.
+    pub elapsed_s: f64,
+}
+
+/// Both phases of the Figure 7 benchmark.
+#[derive(Debug, Clone, Copy)]
+pub struct NbdResult {
+    /// Sequential write of the file (flushed with `sync`).
+    pub write: PhaseResult,
+    /// Sequential read back (client cache invalidated by the unmount).
+    pub read: PhaseResult,
+}

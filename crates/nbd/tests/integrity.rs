@@ -1,0 +1,201 @@
+//! End-to-end NBD data integrity: patterned blocks written through the
+//! QPIP transport into a content-bearing server disk, then read back
+//! and verified byte-for-byte.
+
+use qpip::world::QpipWorld;
+use qpip::{CompletionKind, NicConfig, NodeIdx, RecvWr, SendWr, ServiceType};
+use qpip_nbd::disk::ServerDisk;
+use qpip_nbd::proto::{NbdOp, NbdReply, NbdRequest};
+use qpip_netstack::types::Endpoint;
+
+struct Rig {
+    w: QpipWorld,
+    client: NodeIdx,
+    server: NodeIdx,
+    qc: qpip::QpId,
+    qs: qpip::QpId,
+    cqc: qpip::CqId,
+    cqs: qpip::CqId,
+    disk: ServerDisk,
+    data_msg: usize,
+    recv_seq: u64,
+}
+
+fn pattern(block: u64, len: usize) -> Vec<u8> {
+    (0..len)
+        .map(|i| ((block as usize).wrapping_mul(131) ^ i.wrapping_mul(7)) as u8)
+        .collect()
+}
+
+impl Rig {
+    fn new() -> Rig {
+        let nic = NicConfig { mtu: 9000, ..NicConfig::paper_default() };
+        let mut w = QpipWorld::new(qpip_fabric::FabricConfig::myrinet_gm());
+        let client = w.add_node(nic.clone());
+        let server = w.add_node(nic.clone());
+        let cqc = w.create_cq(client);
+        let cqs = w.create_cq(server);
+        let qc = w.create_qp(client, ServiceType::ReliableTcp, cqc, cqc).unwrap();
+        let qs = w.create_qp(server, ServiceType::ReliableTcp, cqs, cqs).unwrap();
+        let data_msg = qpip_netstack::types::NetConfig::qpip(nic.mtu).max_tcp_payload();
+        let mut r = Rig {
+            w,
+            client,
+            server,
+            qc,
+            qs,
+            cqc,
+            cqs,
+            disk: ServerDisk::with_content(),
+            data_msg,
+            recv_seq: 0,
+        };
+        for _ in 0..64 {
+            r.post_recv(r.server, r.qs);
+            r.post_recv(r.client, r.qc);
+        }
+        r.w.tcp_listen(r.server, 10809, qs).unwrap();
+        let dst = Endpoint::new(r.w.addr(r.server), 10809);
+        r.w.tcp_connect(r.client, qc, 40000, dst).unwrap();
+        r.w.wait_matching(r.client, cqc, |c| c.kind == CompletionKind::ConnectionEstablished);
+        r.w.wait_matching(r.server, cqs, |c| c.kind == CompletionKind::ConnectionEstablished);
+        r
+    }
+
+    fn post_recv(&mut self, node: NodeIdx, qp: qpip::QpId) {
+        self.recv_seq += 1;
+        let wr = RecvWr { wr_id: self.recv_seq, capacity: self.data_msg };
+        self.w.post_recv(node, qp, wr).unwrap();
+    }
+
+    /// Writes one patterned block through the NBD protocol.
+    fn write_block(&mut self, block: u64, block_size: usize) {
+        let data = pattern(block, block_size);
+        let req = NbdRequest {
+            op: NbdOp::Write,
+            handle: block,
+            offset: block * block_size as u64,
+            len: block_size as u32,
+        };
+        self.w
+            .post_send(self.client, self.qc, SendWr { wr_id: 1, payload: req.encode(), dst: None })
+            .unwrap();
+        for chunk in data.chunks(self.data_msg) {
+            self.w
+                .post_send(self.client, self.qc, SendWr {
+                    wr_id: 2,
+                    payload: chunk.to_vec(),
+                    dst: None,
+                })
+                .unwrap();
+        }
+        // server: gather header + data, commit, reply
+        let mut header: Option<NbdRequest> = None;
+        let mut body = Vec::new();
+        while header.is_none() || body.len() < header.expect("set").len as usize {
+            let c = self.w.wait_matching(self.server, self.cqs, |c| {
+                matches!(c.kind, CompletionKind::Recv { .. })
+            });
+            self.post_recv(self.server, self.qs);
+            let CompletionKind::Recv { data, .. } = c.kind else { unreachable!() };
+            if header.is_none() {
+                header = Some(NbdRequest::parse(&data).expect("request header"));
+            } else {
+                body.extend(data);
+            }
+        }
+        let req = header.expect("set");
+        let now = self.w.app_time(self.server);
+        self.disk.write_data(now, req.offset, &body);
+        self.w
+            .post_send(self.server, self.qs, SendWr {
+                wr_id: 3,
+                payload: NbdReply { error: 0, handle: req.handle }.encode(),
+                dst: None,
+            })
+            .unwrap();
+        let c = self.w.wait_matching(self.client, self.cqc, |c| {
+            matches!(c.kind, CompletionKind::Recv { .. })
+        });
+        self.post_recv(self.client, self.qc);
+        let CompletionKind::Recv { data, .. } = c.kind else { unreachable!() };
+        let reply = NbdReply::parse(&data).expect("reply");
+        assert_eq!(reply.handle, block);
+        assert_eq!(reply.error, 0);
+    }
+
+    /// Reads one block back and returns its bytes.
+    fn read_block(&mut self, block: u64, block_size: usize) -> Vec<u8> {
+        let req = NbdRequest {
+            op: NbdOp::Read,
+            handle: block,
+            offset: block * block_size as u64,
+            len: block_size as u32,
+        };
+        self.w
+            .post_send(self.client, self.qc, SendWr { wr_id: 1, payload: req.encode(), dst: None })
+            .unwrap();
+        let c = self.w.wait_matching(self.server, self.cqs, |c| {
+            matches!(c.kind, CompletionKind::Recv { .. })
+        });
+        self.post_recv(self.server, self.qs);
+        let CompletionKind::Recv { data, .. } = c.kind else { unreachable!() };
+        let req = NbdRequest::parse(&data).expect("request");
+        assert_eq!(req.op, NbdOp::Read);
+        let now = self.w.app_time(self.server);
+        let content = self.disk.read_data(now, req.offset, req.len as usize);
+        for chunk in content.chunks(self.data_msg) {
+            self.w
+                .post_send(self.server, self.qs, SendWr {
+                    wr_id: 4,
+                    payload: chunk.to_vec(),
+                    dst: None,
+                })
+                .unwrap();
+        }
+        let mut body = Vec::new();
+        while body.len() < block_size {
+            let c = self.w.wait_matching(self.client, self.cqc, |c| {
+                matches!(c.kind, CompletionKind::Recv { .. })
+            });
+            self.post_recv(self.client, self.qc);
+            let CompletionKind::Recv { data, .. } = c.kind else { unreachable!() };
+            body.extend(data);
+        }
+        body
+    }
+}
+
+#[test]
+fn written_blocks_read_back_identically() {
+    let mut r = Rig::new();
+    let block_size = 32 * 1024;
+    for b in 0..6u64 {
+        r.write_block(b, block_size);
+    }
+    // read back out of order
+    for b in [3u64, 0, 5, 1, 4, 2] {
+        let got = r.read_block(b, block_size);
+        assert_eq!(got, pattern(b, block_size), "block {b} corrupted in transit");
+    }
+}
+
+#[test]
+fn rewrite_overwrites_previous_content() {
+    let mut r = Rig::new();
+    let block_size = 8 * 1024;
+    r.write_block(0, block_size);
+    // overwrite block 0 with block-7 pattern via a direct protocol write
+    let data = pattern(7, block_size);
+    let now = r.w.app_time(r.server);
+    r.disk.write_data(now, 0, &data);
+    let got = r.read_block(0, block_size);
+    assert_eq!(got, pattern(7, block_size));
+}
+
+#[test]
+fn unwritten_blocks_read_as_zeros() {
+    let mut r = Rig::new();
+    let got = r.read_block(9, 4096);
+    assert_eq!(got, vec![0u8; 4096]);
+}

@@ -1,0 +1,558 @@
+//! The per-node protocol engine: demultiplexing, connection management
+//! and packet encode/decode over the TCP/UDP/IPv6 machinery.
+//!
+//! One [`Engine`] instance is the complete inter-network stack of one
+//! node. The QPIP NIC firmware embeds an engine (offloaded stack,
+//! Figure 1); the host baseline embeds an identical engine behind the
+//! socket layer. Both therefore speak exactly the same wire protocol —
+//! which is the paper's interoperability argument (§3): QP nodes and
+//! socket nodes differ only in *where* the stack runs and what interface
+//! sits on top.
+
+use std::collections::HashMap;
+use std::net::Ipv6Addr;
+
+use qpip_sim::time::SimTime;
+
+use crate::codec::{build_tcp_packet, build_udp_packet, decode_packet, Decoded};
+use crate::tcp::tcb::{SegmentOut, Tcb, TcbEvent, TcpState};
+use crate::types::{
+    ConnId, Emit, Endpoint, NetConfig, OpCounters, PacketKind, PacketOut, SendToken,
+};
+
+/// Errors surfaced by engine calls.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EngineError {
+    /// The port is already bound/listening.
+    PortInUse(u16),
+    /// No such connection (closed or never existed).
+    UnknownConn(ConnId),
+    /// The UDP port is not bound.
+    PortNotBound(u16),
+    /// Payload exceeds what one datagram/segment can carry at this MTU.
+    MessageTooLarge {
+        /// Bytes requested.
+        len: usize,
+        /// Maximum allowed.
+        max: usize,
+    },
+    /// The connection is closing or closed for sending (FIN already
+    /// queued, or past ESTABLISHED/CLOSE-WAIT).
+    ConnectionClosing(ConnId),
+}
+
+impl core::fmt::Display for EngineError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            EngineError::PortInUse(p) => write!(f, "port {p} already in use"),
+            EngineError::UnknownConn(c) => write!(f, "unknown connection {c}"),
+            EngineError::PortNotBound(p) => write!(f, "port {p} not bound"),
+            EngineError::MessageTooLarge { len, max } => {
+                write!(f, "message of {len} bytes exceeds maximum {max}")
+            }
+            EngineError::ConnectionClosing(c) => {
+                write!(f, "{c} is closing; no further sends")
+            }
+        }
+    }
+}
+
+impl std::error::Error for EngineError {}
+
+/// Traffic and error counters for one engine.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct EngineStats {
+    /// Packets handed to `on_packet`.
+    pub rx_packets: u64,
+    /// Packets produced.
+    pub tx_packets: u64,
+    /// Packets dropped for checksum failure.
+    pub checksum_drops: u64,
+    /// Packets dropped because no port/connection matched.
+    pub demux_drops: u64,
+    /// Packets dropped because the IPv6 destination was not ours.
+    pub addr_drops: u64,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum ConnOrigin {
+    Active,
+    Passive { listener_port: u16 },
+}
+
+struct ConnEntry {
+    tcb: Tcb,
+    origin: ConnOrigin,
+    established_reported: bool,
+}
+
+/// The complete inter-network stack of one simulated node.
+pub struct Engine {
+    cfg: NetConfig,
+    local_addr: Ipv6Addr,
+    conns: HashMap<ConnId, ConnEntry>,
+    demux: HashMap<(Endpoint, Endpoint), ConnId>,
+    listeners: HashMap<u16, ()>,
+    udp_ports: HashMap<u16, ()>,
+    next_conn: u32,
+    iss_counter: u32,
+    ops: OpCounters,
+    stats: EngineStats,
+}
+
+impl core::fmt::Debug for Engine {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.debug_struct("Engine")
+            .field("local_addr", &self.local_addr)
+            .field("conns", &self.conns.len())
+            .field("listeners", &self.listeners.len())
+            .field("stats", &self.stats)
+            .finish()
+    }
+}
+
+impl Engine {
+    /// Creates a stack for the node at `local_addr`.
+    pub fn new(cfg: NetConfig, local_addr: Ipv6Addr) -> Self {
+        Engine {
+            cfg,
+            local_addr,
+            conns: HashMap::new(),
+            demux: HashMap::new(),
+            listeners: HashMap::new(),
+            udp_ports: HashMap::new(),
+            next_conn: 1,
+            iss_counter: 0x1000,
+            ops: OpCounters::new(),
+            stats: EngineStats::default(),
+        }
+    }
+
+    /// This node's IPv6 address.
+    pub fn local_addr(&self) -> Ipv6Addr {
+        self.local_addr
+    }
+
+    /// The engine configuration.
+    pub fn config(&self) -> &NetConfig {
+        &self.cfg
+    }
+
+    /// Traffic counters.
+    pub fn stats(&self) -> EngineStats {
+        self.stats
+    }
+
+    /// Returns and resets the accumulated operation counters (the cost
+    /// model drains these after every call).
+    pub fn take_ops(&mut self) -> OpCounters {
+        self.ops.take()
+    }
+
+    /// Number of live connections.
+    pub fn conn_count(&self) -> usize {
+        self.conns.len()
+    }
+
+    /// State of a connection, if it still exists.
+    pub fn conn_state(&self, conn: ConnId) -> Option<TcpState> {
+        self.conns.get(&conn).map(|e| e.tcb.state())
+    }
+
+    /// Smoothed RTT of a connection.
+    pub fn conn_srtt(&self, conn: ConnId) -> Option<qpip_sim::time::SimDuration> {
+        self.conns.get(&conn).and_then(|e| e.tcb.srtt())
+    }
+
+    /// Bytes in flight on a connection.
+    pub fn conn_bytes_in_flight(&self, conn: ConnId) -> Option<u64> {
+        self.conns.get(&conn).map(|e| e.tcb.bytes_in_flight())
+    }
+
+    /// Bytes buffered (unacknowledged + unsent) on a connection — the
+    /// socket layer's send-buffer occupancy.
+    pub fn conn_bytes_buffered(&self, conn: ConnId) -> Option<u64> {
+        self.conns.get(&conn).map(|e| e.tcb.bytes_buffered())
+    }
+
+    /// Total retransmissions across live connections.
+    pub fn retransmissions(&self) -> u64 {
+        self.conns.values().map(|e| e.tcb.retransmit_count()).sum()
+    }
+
+    /// Total ECN-triggered window reductions across live connections.
+    pub fn ecn_reductions(&self) -> u64 {
+        self.conns.values().map(|e| e.tcb.ecn_reductions()).sum()
+    }
+
+    // ----- UDP ---------------------------------------------------------
+
+    /// Binds a UDP port.
+    ///
+    /// # Errors
+    ///
+    /// [`EngineError::PortInUse`] if already bound.
+    pub fn udp_bind(&mut self, port: u16) -> Result<(), EngineError> {
+        if self.udp_ports.insert(port, ()).is_some() {
+            return Err(EngineError::PortInUse(port));
+        }
+        Ok(())
+    }
+
+    /// Sends one UDP datagram (one QP message, §4.1). Returns the packet
+    /// to transmit.
+    ///
+    /// # Errors
+    ///
+    /// [`EngineError::PortNotBound`] if `local_port` is not bound;
+    /// [`EngineError::MessageTooLarge`] if the payload exceeds the MTU
+    /// budget.
+    pub fn udp_send(
+        &mut self,
+        local_port: u16,
+        dst: Endpoint,
+        payload: &[u8],
+    ) -> Result<Emit, EngineError> {
+        if !self.udp_ports.contains_key(&local_port) {
+            return Err(EngineError::PortNotBound(local_port));
+        }
+        let max = self.cfg.max_udp_payload();
+        if payload.len() > max {
+            return Err(EngineError::MessageTooLarge { len: payload.len(), max });
+        }
+        let src = Endpoint::new(self.local_addr, local_port);
+        let bytes = build_udp_packet(src, dst, payload);
+        self.ops.headers_built += 2; // UDP + IPv6
+        self.ops.csum_bytes += (bytes.len() - 40) as u64;
+        self.stats.tx_packets += 1;
+        Ok(Emit::Packet(PacketOut {
+            dst: dst.addr,
+            bytes,
+            kind: PacketKind::Udp,
+            conn: None,
+        }))
+    }
+
+    // ----- TCP ---------------------------------------------------------
+
+    /// Starts listening on a TCP port (§3: "The server application
+    /// instructs the interface to monitor a TCP port for incoming
+    /// connections").
+    ///
+    /// # Errors
+    ///
+    /// [`EngineError::PortInUse`] if already listening.
+    pub fn tcp_listen(&mut self, port: u16) -> Result<(), EngineError> {
+        if self.listeners.insert(port, ()).is_some() {
+            return Err(EngineError::PortInUse(port));
+        }
+        Ok(())
+    }
+
+    /// Opens a connection using the sockets rendezvous model (§3),
+    /// returning the new connection id and the SYN to transmit.
+    pub fn tcp_connect(
+        &mut self,
+        now: SimTime,
+        local_port: u16,
+        remote: Endpoint,
+    ) -> (ConnId, Vec<Emit>) {
+        let local = Endpoint::new(self.local_addr, local_port);
+        let iss = self.next_iss();
+        let (tcb, segs) = Tcb::connect(&self.cfg, local, remote, iss, now);
+        let id = self.insert_conn(tcb, ConnOrigin::Active);
+        let emits = self.encode_segments(id, segs);
+        (id, emits)
+    }
+
+    /// Sends one unit of data on a connection. Completion is reported
+    /// later via [`Emit::TcpSendComplete`] carrying `token`.
+    ///
+    /// # Errors
+    ///
+    /// [`EngineError::UnknownConn`] for dead connections and
+    /// [`EngineError::MessageTooLarge`] in message mode when the payload
+    /// cannot fit one segment.
+    pub fn tcp_send(
+        &mut self,
+        now: SimTime,
+        conn: ConnId,
+        data: Vec<u8>,
+        token: SendToken,
+    ) -> Result<Vec<Emit>, EngineError> {
+        if self.cfg.segmentation == crate::types::SegmentationPolicy::MessagePerSegment {
+            let max = self.cfg.max_tcp_payload();
+            if data.len() > max {
+                return Err(EngineError::MessageTooLarge { len: data.len(), max });
+            }
+        }
+        let entry = self
+            .conns
+            .get_mut(&conn)
+            .ok_or(EngineError::UnknownConn(conn))?;
+        if !entry.tcb.can_send() {
+            return Err(EngineError::ConnectionClosing(conn));
+        }
+        let segs = entry.tcb.send(&self.cfg, data, token, now, &mut self.ops);
+        Ok(self.encode_segments(conn, segs))
+    }
+
+    /// Begins a graceful close.
+    ///
+    /// # Errors
+    ///
+    /// [`EngineError::UnknownConn`] if the connection is gone.
+    pub fn tcp_close(&mut self, now: SimTime, conn: ConnId) -> Result<Vec<Emit>, EngineError> {
+        let entry = self
+            .conns
+            .get_mut(&conn)
+            .ok_or(EngineError::UnknownConn(conn))?;
+        let segs = entry.tcb.close(&self.cfg, now, &mut self.ops);
+        Ok(self.encode_segments(conn, segs))
+    }
+
+    /// Aborts with RST and removes the connection.
+    ///
+    /// # Errors
+    ///
+    /// [`EngineError::UnknownConn`] if the connection is gone.
+    pub fn tcp_abort(&mut self, _now: SimTime, conn: ConnId) -> Result<Vec<Emit>, EngineError> {
+        let mut entry = self
+            .conns
+            .remove(&conn)
+            .ok_or(EngineError::UnknownConn(conn))?;
+        let rst = entry.tcb.abort();
+        self.demux
+            .remove(&(entry.tcb.local(), entry.tcb.remote()));
+        let remote = entry.tcb.remote();
+        let local = entry.tcb.local();
+        Ok(vec![self.encode_one(conn, local, remote, &rst)])
+    }
+
+    /// Updates the receive-window backing space of a connection (QPIP:
+    /// total posted receive-WR bytes) and emits a window-update ACK.
+    ///
+    /// # Errors
+    ///
+    /// [`EngineError::UnknownConn`] if the connection is gone.
+    pub fn set_recv_space(
+        &mut self,
+        now: SimTime,
+        conn: ConnId,
+        bytes: u64,
+    ) -> Result<Vec<Emit>, EngineError> {
+        let entry = self
+            .conns
+            .get_mut(&conn)
+            .ok_or(EngineError::UnknownConn(conn))?;
+        entry.tcb.set_recv_space(bytes);
+        let upd = entry.tcb.window_update(now);
+        let segs: Vec<SegmentOut> = upd.into_iter().collect();
+        Ok(self.encode_segments(conn, segs))
+    }
+
+    // ----- packet input --------------------------------------------------
+
+    /// Processes one received packet, producing replies and events.
+    pub fn on_packet(&mut self, now: SimTime, bytes: &[u8]) -> Vec<Emit> {
+        self.stats.rx_packets += 1;
+        let decoded = match decode_packet(bytes) {
+            Ok(d) => d,
+            Err(qpip_wire::error::ParseWireError::BadChecksum) => {
+                self.stats.checksum_drops += 1;
+                return Vec::new();
+            }
+            Err(_) => {
+                self.stats.demux_drops += 1;
+                return Vec::new();
+            }
+        };
+        self.ops.headers_parsed += 1; // IP parse
+        match decoded {
+            Decoded::Udp { ip, udp, payload } => {
+                self.ops.csum_bytes += (usize::from(udp.length)) as u64;
+                if ip.dst != self.local_addr {
+                    self.stats.addr_drops += 1;
+                    return Vec::new();
+                }
+                if !self.udp_ports.contains_key(&udp.dst_port) {
+                    self.stats.demux_drops += 1;
+                    return Vec::new();
+                }
+                vec![Emit::UdpDelivered {
+                    port: udp.dst_port,
+                    src: Endpoint::new(ip.src, udp.src_port),
+                    payload,
+                }]
+            }
+            Decoded::Tcp { ip, tcp, payload } => {
+                self.ops.csum_bytes +=
+                    (usize::from(ip.payload_len)) as u64;
+                if ip.dst != self.local_addr {
+                    self.stats.addr_drops += 1;
+                    return Vec::new();
+                }
+                self.on_tcp_segment(now, &ip, &tcp, &payload)
+            }
+            Decoded::Other { .. } => {
+                self.stats.demux_drops += 1;
+                Vec::new()
+            }
+        }
+    }
+
+    fn on_tcp_segment(
+        &mut self,
+        now: SimTime,
+        ip: &qpip_wire::ipv6::Ipv6Header,
+        tcp: &qpip_wire::tcp::TcpHeader,
+        payload: &[u8],
+    ) -> Vec<Emit> {
+        let ce = ip.ecn() == qpip_wire::ipv6::Ecn::CongestionExperienced;
+        let local = Endpoint::new(ip.dst, tcp.dst_port);
+        let remote = Endpoint::new(ip.src, tcp.src_port);
+        let conn = match self.demux.get(&(local, remote)) {
+            Some(&c) => c,
+            None => {
+                // no connection: a SYN to a listening port spawns one
+                if tcp.flags.syn && !tcp.flags.ack && self.listeners.contains_key(&tcp.dst_port) {
+                    let iss = self.next_iss();
+                    let (tcb, segs) =
+                        Tcb::accept(&self.cfg, local, remote, tcp, iss, now);
+                    let id = self.insert_conn(
+                        tcb,
+                        ConnOrigin::Passive { listener_port: tcp.dst_port },
+                    );
+                    return self.encode_segments(id, segs);
+                }
+                self.stats.demux_drops += 1;
+                return Vec::new();
+            }
+        };
+
+        let entry = self.conns.get_mut(&conn).expect("demux points at live conn");
+        let (segs, events) =
+            entry.tcb.on_segment_marked(&self.cfg, tcp, payload, ce, now, &mut self.ops);
+        let mut emits = self.translate_events(conn, events);
+        emits.extend(self.encode_segments(conn, segs));
+        self.reap_if_closed(conn);
+        emits
+    }
+
+    // ----- timers --------------------------------------------------------
+
+    /// The earliest timer deadline across all connections.
+    pub fn next_deadline(&self) -> Option<SimTime> {
+        self.conns.values().filter_map(|e| e.tcb.next_deadline()).min()
+    }
+
+    /// Fires all due timers.
+    pub fn on_timer(&mut self, now: SimTime) -> Vec<Emit> {
+        let due: Vec<ConnId> = self
+            .conns
+            .iter()
+            .filter(|(_, e)| e.tcb.next_deadline().is_some_and(|d| d <= now))
+            .map(|(&id, _)| id)
+            .collect();
+        let mut emits = Vec::new();
+        for conn in due {
+            let entry = self.conns.get_mut(&conn).expect("just enumerated");
+            let (segs, events) = entry.tcb.on_timer(&self.cfg, now, &mut self.ops);
+            emits.extend(self.translate_events(conn, events));
+            emits.extend(self.encode_segments(conn, segs));
+            self.reap_if_closed(conn);
+        }
+        emits
+    }
+
+    // ----- internals -------------------------------------------------------
+
+    fn next_iss(&mut self) -> qpip_wire::tcp::SeqNum {
+        // deterministic ISS spacing (RFC 793's clock-driven ISS is
+        // irrelevant in simulation; distinct values exercise wraparound)
+        self.iss_counter = self.iss_counter.wrapping_add(0x3d09_0000);
+        qpip_wire::tcp::SeqNum(self.iss_counter)
+    }
+
+    fn insert_conn(&mut self, tcb: Tcb, origin: ConnOrigin) -> ConnId {
+        let id = ConnId(self.next_conn);
+        self.next_conn += 1;
+        self.demux.insert((tcb.local(), tcb.remote()), id);
+        self.conns.insert(
+            id,
+            ConnEntry { tcb, origin, established_reported: false },
+        );
+        id
+    }
+
+    fn reap_if_closed(&mut self, conn: ConnId) {
+        if let Some(entry) = self.conns.get(&conn) {
+            if entry.tcb.state() == TcpState::Closed {
+                let key = (entry.tcb.local(), entry.tcb.remote());
+                self.demux.remove(&key);
+                self.conns.remove(&conn);
+            }
+        }
+    }
+
+    fn translate_events(&mut self, conn: ConnId, events: Vec<TcbEvent>) -> Vec<Emit> {
+        let mut emits = Vec::new();
+        for ev in events {
+            match ev {
+                TcbEvent::Established => {
+                    let entry = self.conns.get_mut(&conn).expect("live conn");
+                    if entry.established_reported {
+                        continue;
+                    }
+                    entry.established_reported = true;
+                    match entry.origin {
+                        ConnOrigin::Active => emits.push(Emit::TcpConnected { conn }),
+                        ConnOrigin::Passive { listener_port } => emits.push(Emit::TcpAccepted {
+                            listener_port,
+                            conn,
+                            peer: entry.tcb.remote(),
+                        }),
+                    }
+                }
+                TcbEvent::Delivered(data) => emits.push(Emit::TcpDelivered { conn, data }),
+                TcbEvent::SendComplete(token) => {
+                    emits.push(Emit::TcpSendComplete { conn, token })
+                }
+                TcbEvent::PeerClosed => emits.push(Emit::TcpPeerClosed { conn }),
+                TcbEvent::Closed => emits.push(Emit::TcpClosed { conn }),
+                TcbEvent::Reset => emits.push(Emit::TcpReset { conn }),
+            }
+        }
+        emits
+    }
+
+    fn encode_segments(&mut self, conn: ConnId, segs: Vec<SegmentOut>) -> Vec<Emit> {
+        let Some(entry) = self.conns.get(&conn) else {
+            return Vec::new();
+        };
+        let local = entry.tcb.local();
+        let remote = entry.tcb.remote();
+        segs.iter()
+            .map(|s| self.encode_one(conn, local, remote, s))
+            .collect()
+    }
+
+    fn encode_one(
+        &mut self,
+        conn: ConnId,
+        local: Endpoint,
+        remote: Endpoint,
+        seg: &SegmentOut,
+    ) -> Emit {
+        let bytes = build_tcp_packet(local, remote, seg);
+        self.ops.headers_built += 2; // TCP + IPv6
+        self.ops.csum_bytes += (bytes.len() - 40) as u64;
+        self.stats.tx_packets += 1;
+        Emit::Packet(PacketOut {
+            dst: remote.addr,
+            bytes,
+            kind: seg.kind,
+            conn: Some(conn),
+        })
+    }
+}

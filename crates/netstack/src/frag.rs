@@ -1,0 +1,320 @@
+//! IPv6 end-to-end fragmentation and reassembly.
+//!
+//! §4.1: the message-per-segment mapping produces "arbitrarily sized"
+//! TCP segments; on fabrics with small MTUs the source NIC fragments
+//! them into IPv6 fragments and only the destination NIC reassembles —
+//! "end-to-end fragmentation which is better suited to hardware based
+//! protocol implementations". Loss of one fragment kills the whole
+//! segment ("performance could suffer if subsequent IP fragments are
+//! lost"), which TCP then retransmits with a fresh fragment id.
+
+use std::collections::HashMap;
+use std::net::Ipv6Addr;
+
+use qpip_wire::frag::{FragmentHeader, FRAGMENT_HEADER_LEN, FRAGMENT_NEXT_HEADER};
+use qpip_wire::ipv6::{Ipv6Header, NextHeader, IPV6_HEADER_LEN};
+
+/// Splits a complete IPv6 packet into fragments that fit `wire_mtu`.
+/// Returns the packet unchanged (as a single element) when it already
+/// fits.
+///
+/// # Panics
+///
+/// Panics if `wire_mtu` cannot carry at least 8 payload bytes per
+/// fragment, or if `packet` is not a well-formed IPv6 packet.
+pub fn fragment_packet(packet: &[u8], wire_mtu: usize, id: u32) -> Vec<Vec<u8>> {
+    if packet.len() <= wire_mtu {
+        return vec![packet.to_vec()];
+    }
+    let (ip, hl) = Ipv6Header::parse(packet).expect("fragmenting a well-formed packet");
+    debug_assert_eq!(hl, IPV6_HEADER_LEN);
+    let payload = &packet[hl..];
+    // per-fragment capacity, in 8-byte units for all but the last
+    let raw = wire_mtu
+        .checked_sub(IPV6_HEADER_LEN + FRAGMENT_HEADER_LEN)
+        .expect("mtu too small for fragment headers");
+    let unit = raw & !7;
+    assert!(unit >= 8, "mtu {wire_mtu} leaves no room for fragment payload");
+    let mut out = Vec::with_capacity(payload.len().div_ceil(unit));
+    let mut offset = 0usize;
+    while offset < payload.len() {
+        let take = unit.min(payload.len() - offset);
+        let more = offset + take < payload.len();
+        let frag = FragmentHeader {
+            next_header: ip.next_header.code(),
+            offset: offset as u32,
+            more,
+            id,
+        };
+        let mut pkt = Vec::with_capacity(IPV6_HEADER_LEN + FRAGMENT_HEADER_LEN + take);
+        let hdr = Ipv6Header {
+            next_header: NextHeader::Other(FRAGMENT_NEXT_HEADER),
+            payload_len: (FRAGMENT_HEADER_LEN + take) as u16,
+            ..ip
+        };
+        hdr.encode(&mut pkt);
+        frag.encode(&mut pkt);
+        pkt.extend_from_slice(&payload[offset..offset + take]);
+        out.push(pkt);
+        offset += take;
+    }
+    out
+}
+
+/// Returns `true` when the packet carries a fragment header.
+pub fn is_fragment(packet: &[u8]) -> bool {
+    packet.len() > 6 && packet[6] == FRAGMENT_NEXT_HEADER
+}
+
+#[derive(Debug)]
+struct Partial {
+    chunks: Vec<(u32, Vec<u8>)>,
+    total: Option<u32>,
+    next_header: u8,
+    bytes: usize,
+    arrival_order: u64,
+}
+
+/// Destination-side reassembly state.
+///
+/// Bounded: at most [`Reassembler::MAX_PENDING`] packets under
+/// reassembly per peer set; when full, the oldest partial is discarded
+/// (TCP retransmission recovers the segment with a fresh id).
+#[derive(Debug, Default)]
+pub struct Reassembler {
+    pending: HashMap<(Ipv6Addr, u32), Partial>,
+    arrivals: u64,
+    completed: u64,
+    evicted: u64,
+}
+
+impl Reassembler {
+    /// Maximum packets concurrently under reassembly.
+    pub const MAX_PENDING: usize = 16;
+    /// Maximum buffered bytes per packet under reassembly.
+    pub const MAX_BYTES: usize = 256 * 1024;
+
+    /// Creates an empty reassembler.
+    pub fn new() -> Self {
+        Reassembler::default()
+    }
+
+    /// Packets fully reassembled so far.
+    pub fn completed(&self) -> u64 {
+        self.completed
+    }
+
+    /// Partial packets evicted (capacity pressure or oversize).
+    pub fn evicted(&self) -> u64 {
+        self.evicted
+    }
+
+    /// Packets currently under reassembly.
+    pub fn pending(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// Feeds one fragment; returns the reassembled original packet when
+    /// this fragment completes it.
+    ///
+    /// Malformed fragments are dropped silently (they would fail the
+    /// transport checksum anyway once reassembled).
+    pub fn push(&mut self, packet: &[u8]) -> Option<Vec<u8>> {
+        let (ip, hl) = Ipv6Header::parse(packet).ok()?;
+        let seg = &packet[hl..hl + usize::from(ip.payload_len)];
+        let (frag, fhl) = FragmentHeader::parse(seg).ok()?;
+        let data = &seg[fhl..];
+        self.arrivals += 1;
+
+        let key = (ip.src, frag.id);
+        let order = self.arrivals;
+        let entry = self.pending.entry(key).or_insert_with(|| Partial {
+            chunks: Vec::new(),
+            total: None,
+            next_header: frag.next_header,
+            bytes: 0,
+            arrival_order: order,
+        });
+        // duplicate fragments (retransmitted paths) are idempotent
+        if entry.chunks.iter().any(|(off, _)| *off == frag.offset) {
+            return None;
+        }
+        entry.bytes += data.len();
+        entry.chunks.push((frag.offset, data.to_vec()));
+        if !frag.more {
+            entry.total = Some(frag.offset + data.len() as u32);
+        }
+        if entry.bytes > Self::MAX_BYTES {
+            self.pending.remove(&key);
+            self.evicted += 1;
+            return None;
+        }
+
+        // complete?
+        let done = entry.total.is_some_and(|total| {
+            let mut covered = 0u32;
+            let mut chunks: Vec<&(u32, Vec<u8>)> = entry.chunks.iter().collect();
+            chunks.sort_by_key(|(off, _)| *off);
+            for (off, d) in chunks {
+                if *off != covered {
+                    return false;
+                }
+                covered += d.len() as u32;
+            }
+            covered == total
+        });
+        if done {
+            let mut entry = self.pending.remove(&key).expect("present");
+            entry.chunks.sort_by_key(|(off, _)| *off);
+            let total: usize = entry.chunks.iter().map(|(_, d)| d.len()).sum();
+            let mut pkt = Vec::with_capacity(IPV6_HEADER_LEN + total);
+            let hdr = Ipv6Header {
+                next_header: NextHeader::from(entry.next_header),
+                payload_len: total as u16,
+                ..ip
+            };
+            hdr.encode(&mut pkt);
+            for (_, d) in entry.chunks {
+                pkt.extend_from_slice(&d);
+            }
+            self.completed += 1;
+            return Some(pkt);
+        }
+
+        // capacity pressure: evict the oldest partial
+        if self.pending.len() > Self::MAX_PENDING {
+            if let Some((&victim, _)) = self
+                .pending
+                .iter()
+                .min_by_key(|(_, p)| p.arrival_order)
+            {
+                self.pending.remove(&victim);
+                self.evicted += 1;
+            }
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::codec::{build_udp_packet, decode_packet, Decoded};
+    use crate::types::Endpoint;
+
+    fn addr(n: u16) -> Ipv6Addr {
+        Ipv6Addr::new(0xfc00, 0, 0, 0, 0, 0, 0, n)
+    }
+
+    fn big_packet(len: usize) -> Vec<u8> {
+        let payload: Vec<u8> = (0..len).map(|i| (i % 251) as u8).collect();
+        build_udp_packet(Endpoint::new(addr(1), 7), Endpoint::new(addr(2), 8), &payload)
+    }
+
+    #[test]
+    fn small_packets_pass_through_unfragmented() {
+        let pkt = big_packet(100);
+        let frags = fragment_packet(&pkt, 1500, 1);
+        assert_eq!(frags.len(), 1);
+        assert_eq!(frags[0], pkt);
+        assert!(!is_fragment(&frags[0]));
+    }
+
+    #[test]
+    fn fragment_reassemble_roundtrip() {
+        let pkt = big_packet(10_000);
+        let frags = fragment_packet(&pkt, 1500, 42);
+        assert!(frags.len() >= 7, "{}", frags.len());
+        assert!(frags.iter().all(|f| f.len() <= 1500));
+        assert!(frags.iter().all(|f| is_fragment(f)));
+        let mut r = Reassembler::new();
+        let mut done = None;
+        for f in &frags {
+            assert!(done.is_none());
+            done = r.push(f);
+        }
+        let restored = done.expect("complete after last fragment");
+        assert_eq!(restored, pkt);
+        // the reassembled packet still checksums correctly
+        assert!(matches!(decode_packet(&restored).unwrap(), Decoded::Udp { .. }));
+        assert_eq!(r.completed(), 1);
+        assert_eq!(r.pending(), 0);
+    }
+
+    #[test]
+    fn out_of_order_fragments_still_reassemble() {
+        let pkt = big_packet(6000);
+        let mut frags = fragment_packet(&pkt, 1500, 7);
+        frags.reverse();
+        let mut r = Reassembler::new();
+        let mut done = None;
+        for f in &frags {
+            done = done.or(r.push(f));
+        }
+        assert_eq!(done.expect("complete"), pkt);
+    }
+
+    #[test]
+    fn duplicate_fragments_are_idempotent() {
+        let pkt = big_packet(4000);
+        let frags = fragment_packet(&pkt, 1500, 9);
+        let mut r = Reassembler::new();
+        assert!(r.push(&frags[0]).is_none());
+        assert!(r.push(&frags[0]).is_none(), "duplicate ignored");
+        let mut done = None;
+        for f in &frags[1..] {
+            done = done.or(r.push(f));
+        }
+        assert_eq!(done.expect("complete"), pkt);
+    }
+
+    #[test]
+    fn missing_fragment_never_completes() {
+        let pkt = big_packet(6000);
+        let frags = fragment_packet(&pkt, 1500, 5);
+        let mut r = Reassembler::new();
+        for f in frags.iter().skip(1) {
+            assert!(r.push(f).is_none(), "incomplete without fragment 0");
+        }
+        assert_eq!(r.pending(), 1);
+    }
+
+    #[test]
+    fn distinct_ids_do_not_mix() {
+        let a = big_packet(2000); // two fragments each at 1500 MTU
+        let b = big_packet(2000);
+        let fa = fragment_packet(&a, 1500, 1);
+        let fb = fragment_packet(&b, 1500, 2);
+        let mut r = Reassembler::new();
+        r.push(&fa[0]);
+        r.push(&fb[0]);
+        assert_eq!(r.pending(), 2);
+        assert_eq!(r.push(&fa[1]).expect("a complete"), a);
+        assert_eq!(r.push(&fb[1]).expect("b complete"), b);
+    }
+
+    #[test]
+    fn capacity_pressure_evicts_oldest() {
+        let mut r = Reassembler::new();
+        for id in 0..((Reassembler::MAX_PENDING + 3) as u32) {
+            let pkt = big_packet(3000);
+            let frags = fragment_packet(&pkt, 1500, id);
+            r.push(&frags[0]); // first fragment only: stays pending
+        }
+        assert!(r.pending() <= Reassembler::MAX_PENDING + 1);
+        assert!(r.evicted() >= 2);
+    }
+
+    #[test]
+    fn fragments_align_to_eight_bytes_except_last() {
+        let pkt = big_packet(10_000);
+        for f in fragment_packet(&pkt, 1500, 3) {
+            let (ip, hl) = Ipv6Header::parse(&f).unwrap();
+            let (frag, _) = FragmentHeader::parse(&f[hl..]).unwrap();
+            if frag.more {
+                let data_len = usize::from(ip.payload_len) - FRAGMENT_HEADER_LEN;
+                assert_eq!(data_len % 8, 0);
+            }
+        }
+    }
+}

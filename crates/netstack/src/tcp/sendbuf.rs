@@ -1,0 +1,383 @@
+//! The TCP send buffer: retains unacknowledged data for retransmission
+//! and maps acknowledgments back to completed send units.
+//!
+//! Two segmentation policies are supported (§4.1): the QPIP firmware
+//! maps one QP message onto exactly one TCP segment ("a segment is a
+//! message"), while the host baseline streams bytes at the MSS.
+
+use std::collections::VecDeque;
+
+use qpip_wire::tcp::SeqNum;
+
+use crate::types::{SegmentationPolicy, SendToken};
+
+/// One send unit: a QP message or a socket write.
+#[derive(Debug, Clone)]
+struct Chunk {
+    /// Sequence number of the first byte.
+    start: SeqNum,
+    /// The data (never empty).
+    bytes: Vec<u8>,
+    /// Completion token, reported when the last byte is acknowledged.
+    token: SendToken,
+}
+
+impl Chunk {
+    fn end(&self) -> SeqNum {
+        self.start + self.bytes.len() as u32
+    }
+}
+
+/// A segment's worth of data handed to the output path.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SegmentData {
+    /// Sequence number of the first byte.
+    pub seq: SeqNum,
+    /// Payload bytes.
+    pub bytes: Vec<u8>,
+    /// Whether this reaches the current end of buffered data (sets PSH).
+    pub psh: bool,
+}
+
+/// The send buffer for one connection.
+#[derive(Debug, Clone)]
+pub struct SendBuffer {
+    chunks: VecDeque<Chunk>,
+    policy: SegmentationPolicy,
+    /// First unacknowledged byte.
+    una: SeqNum,
+    /// Next byte to transmit for the first time.
+    nxt: SeqNum,
+}
+
+impl SendBuffer {
+    /// Creates an empty buffer whose first byte will carry `initial_seq`.
+    pub fn new(policy: SegmentationPolicy, initial_seq: SeqNum) -> Self {
+        SendBuffer {
+            chunks: VecDeque::new(),
+            policy,
+            una: initial_seq,
+            nxt: initial_seq,
+        }
+    }
+
+    /// First unacknowledged sequence number.
+    pub fn una(&self) -> SeqNum {
+        self.una
+    }
+
+    /// Next never-sent sequence number.
+    pub fn nxt(&self) -> SeqNum {
+        self.nxt
+    }
+
+    /// Sequence number one past the last buffered byte.
+    pub fn end(&self) -> SeqNum {
+        self.chunks.back().map_or(self.una, Chunk::end)
+    }
+
+    /// Bytes sent but not yet acknowledged.
+    pub fn bytes_in_flight(&self) -> u64 {
+        u64::from(self.nxt - self.una)
+    }
+
+    /// Bytes buffered but never sent.
+    pub fn bytes_unsent(&self) -> u64 {
+        u64::from(self.end() - self.nxt)
+    }
+
+    /// Total buffered (unacked + unsent) bytes.
+    pub fn bytes_buffered(&self) -> u64 {
+        u64::from(self.end() - self.una)
+    }
+
+    /// `true` when everything pushed has been acknowledged.
+    pub fn is_fully_acked(&self) -> bool {
+        self.chunks.is_empty()
+    }
+
+    /// Appends one send unit.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bytes` is empty — zero-length sends are handled above
+    /// this layer (they complete immediately without touching TCP).
+    pub fn push(&mut self, bytes: Vec<u8>, token: SendToken) {
+        assert!(!bytes.is_empty(), "zero-length send unit");
+        let start = self.end();
+        self.chunks.push_back(Chunk { start, bytes, token });
+    }
+
+    /// Produces the next new segment to transmit, limited by the peer's
+    /// usable window (`window_budget` bytes beyond `nxt`) and, in stream
+    /// mode, by `max_payload`. Advances `nxt`. Returns `None` when
+    /// nothing can be sent.
+    pub fn next_segment(&mut self, max_payload: usize, window_budget: u64) -> Option<SegmentData> {
+        let unsent = self.bytes_unsent();
+        if unsent == 0 {
+            return None;
+        }
+        let seq = self.nxt;
+        let bytes = match self.policy {
+            SegmentationPolicy::MessagePerSegment => {
+                // the whole chunk or nothing: message boundaries survive
+                let chunk = self.chunk_containing(seq)?;
+                debug_assert_eq!(chunk.start, seq, "message mode sends whole chunks");
+                let len = chunk.bytes.len();
+                if (len as u64) > window_budget || len > max_payload {
+                    return None;
+                }
+                chunk.bytes.clone()
+            }
+            SegmentationPolicy::Stream => {
+                let take = unsent.min(window_budget).min(max_payload as u64) as usize;
+                if take == 0 {
+                    return None;
+                }
+                self.copy_range(seq, take)
+            }
+        };
+        self.nxt = seq + bytes.len() as u32;
+        let psh = self.nxt == self.end();
+        Some(SegmentData { seq, bytes, psh })
+    }
+
+    /// Produces the segment at the front of the unacknowledged region
+    /// (for fast retransmit / RTO) without moving `nxt`.
+    pub fn retransmit_front(&mut self, max_payload: usize) -> Option<SegmentData> {
+        if self.bytes_in_flight() == 0 {
+            return None;
+        }
+        let seq = self.una;
+        let bytes = match self.policy {
+            SegmentationPolicy::MessagePerSegment => {
+                let chunk = self.chunk_containing(seq)?;
+                debug_assert_eq!(chunk.start, seq);
+                chunk.bytes.clone()
+            }
+            SegmentationPolicy::Stream => {
+                let avail = u64::from(self.nxt - seq).min(max_payload as u64) as usize;
+                self.copy_range(seq, avail)
+            }
+        };
+        let end = seq + bytes.len() as u32;
+        let psh = end == self.end();
+        Some(SegmentData { seq, bytes, psh })
+    }
+
+    /// Processes a cumulative acknowledgment. Returns the tokens of send
+    /// units whose final byte is now acknowledged, in order.
+    ///
+    /// ACKs outside `(una, end]` are ignored (the caller classifies
+    /// duplicates and out-of-window ACKs before getting here).
+    pub fn on_ack(&mut self, ack: SeqNum) -> Vec<SendToken> {
+        if !(self.una.lt(ack) && ack.le(self.end())) {
+            return Vec::new();
+        }
+        self.una = ack;
+        if self.nxt.lt(ack) {
+            self.nxt = ack;
+        }
+        let mut done = Vec::new();
+        while let Some(front) = self.chunks.front() {
+            if front.end().le(ack) {
+                done.push(front.token);
+                self.chunks.pop_front();
+            } else {
+                break;
+            }
+        }
+        done
+    }
+
+    /// Collapses the transmit point back to the unacknowledged front
+    /// (go-back-N after a retransmission timeout).
+    pub fn rewind_to_una(&mut self) {
+        self.nxt = self.una;
+    }
+
+    fn chunk_containing(&self, seq: SeqNum) -> Option<&Chunk> {
+        self.chunks
+            .iter()
+            .find(|c| c.start.le(seq) && seq.lt(c.end()))
+    }
+
+    /// Copies `len` bytes starting at `seq`, crossing chunk boundaries.
+    fn copy_range(&self, seq: SeqNum, len: usize) -> Vec<u8> {
+        let mut out = Vec::with_capacity(len);
+        let mut pos = seq;
+        let mut remaining = len;
+        for c in &self.chunks {
+            if remaining == 0 {
+                break;
+            }
+            if c.end().le(pos) {
+                continue;
+            }
+            let off = (pos - c.start) as usize;
+            let take = (c.bytes.len() - off).min(remaining);
+            out.extend_from_slice(&c.bytes[off..off + take]);
+            pos += take as u32;
+            remaining -= take;
+        }
+        debug_assert_eq!(out.len(), len, "copy_range ran past buffered data");
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn seq(n: u32) -> SeqNum {
+        SeqNum(n)
+    }
+
+    fn msg_buf() -> SendBuffer {
+        SendBuffer::new(SegmentationPolicy::MessagePerSegment, seq(1000))
+    }
+
+    fn stream_buf() -> SendBuffer {
+        SendBuffer::new(SegmentationPolicy::Stream, seq(1000))
+    }
+
+    #[test]
+    fn message_mode_sends_whole_messages() {
+        let mut b = msg_buf();
+        b.push(vec![1; 100], SendToken(1));
+        b.push(vec![2; 50], SendToken(2));
+        let s1 = b.next_segment(16_384, u64::MAX).unwrap();
+        assert_eq!((s1.seq, s1.bytes.len(), s1.psh), (seq(1000), 100, false));
+        let s2 = b.next_segment(16_384, u64::MAX).unwrap();
+        assert_eq!((s2.seq, s2.bytes.len(), s2.psh), (seq(1100), 50, true));
+        assert!(b.next_segment(16_384, u64::MAX).is_none());
+        assert_eq!(b.bytes_in_flight(), 150);
+    }
+
+    #[test]
+    fn message_mode_blocks_until_window_fits_whole_message() {
+        let mut b = msg_buf();
+        b.push(vec![0; 100], SendToken(1));
+        assert!(b.next_segment(16_384, 99).is_none(), "no partial messages");
+        assert!(b.next_segment(16_384, 100).is_some());
+    }
+
+    #[test]
+    fn stream_mode_segments_at_mss_and_crosses_chunks() {
+        let mut b = stream_buf();
+        b.push(vec![1; 100], SendToken(1));
+        b.push(vec![2; 100], SendToken(2));
+        let s1 = b.next_segment(150, u64::MAX).unwrap();
+        assert_eq!(s1.bytes.len(), 150);
+        assert_eq!(&s1.bytes[..100], &[1u8; 100][..]);
+        assert_eq!(&s1.bytes[100..], &[2u8; 50][..]);
+        let s2 = b.next_segment(150, u64::MAX).unwrap();
+        assert_eq!(s2.bytes.len(), 50);
+        assert!(s2.psh);
+    }
+
+    #[test]
+    fn stream_mode_respects_window_budget() {
+        let mut b = stream_buf();
+        b.push(vec![0; 1000], SendToken(1));
+        let s = b.next_segment(1460, 300).unwrap();
+        assert_eq!(s.bytes.len(), 300);
+        assert!(b.next_segment(1460, 0).is_none());
+    }
+
+    #[test]
+    fn ack_completes_tokens_in_order() {
+        let mut b = msg_buf();
+        b.push(vec![0; 100], SendToken(7));
+        b.push(vec![0; 100], SendToken(8));
+        b.next_segment(16_384, u64::MAX);
+        b.next_segment(16_384, u64::MAX);
+        assert_eq!(b.on_ack(seq(1100)), vec![SendToken(7)]);
+        assert_eq!(b.on_ack(seq(1200)), vec![SendToken(8)]);
+        assert!(b.is_fully_acked());
+        assert_eq!(b.bytes_in_flight(), 0);
+    }
+
+    #[test]
+    fn partial_ack_completes_nothing_mid_chunk() {
+        let mut b = stream_buf();
+        b.push(vec![0; 100], SendToken(9));
+        b.next_segment(60, u64::MAX);
+        b.next_segment(60, u64::MAX);
+        assert!(b.on_ack(seq(1060)).is_empty());
+        assert_eq!(b.on_ack(seq(1100)), vec![SendToken(9)]);
+    }
+
+    #[test]
+    fn stale_and_out_of_range_acks_ignored() {
+        let mut b = msg_buf();
+        b.push(vec![0; 10], SendToken(1));
+        b.next_segment(100, u64::MAX);
+        assert!(b.on_ack(seq(1000)).is_empty(), "duplicate of una");
+        assert!(b.on_ack(seq(999)).is_empty(), "old ack");
+        assert!(b.on_ack(seq(2000)).is_empty(), "beyond end");
+        assert_eq!(b.una(), seq(1000));
+    }
+
+    #[test]
+    fn retransmit_front_repeats_unacked_data() {
+        let mut b = msg_buf();
+        b.push(vec![3; 40], SendToken(1));
+        let sent = b.next_segment(100, u64::MAX).unwrap();
+        let rexmit = b.retransmit_front(100).unwrap();
+        assert_eq!(sent, rexmit);
+        assert_eq!(b.bytes_in_flight(), 40, "nxt unchanged by retransmit");
+    }
+
+    #[test]
+    fn retransmit_front_when_nothing_outstanding_is_none() {
+        let mut b = msg_buf();
+        assert!(b.retransmit_front(100).is_none());
+        b.push(vec![1; 10], SendToken(1));
+        assert!(b.retransmit_front(100).is_none(), "unsent data is not in flight");
+    }
+
+    #[test]
+    fn rewind_resends_from_una() {
+        let mut b = stream_buf();
+        b.push(vec![5; 200], SendToken(1));
+        b.next_segment(100, u64::MAX);
+        b.next_segment(100, u64::MAX);
+        assert_eq!(b.bytes_unsent(), 0);
+        b.rewind_to_una();
+        assert_eq!(b.bytes_unsent(), 200);
+        let s = b.next_segment(100, u64::MAX).unwrap();
+        assert_eq!(s.seq, seq(1000));
+    }
+
+    #[test]
+    fn ack_beyond_nxt_after_rewind_advances_nxt() {
+        let mut b = stream_buf();
+        b.push(vec![5; 200], SendToken(1));
+        b.next_segment(200, u64::MAX);
+        b.rewind_to_una();
+        // the old in-flight copy gets acked even though nxt was rewound
+        let done = b.on_ack(seq(1200));
+        assert_eq!(done, vec![SendToken(1)]);
+        assert_eq!(b.nxt(), seq(1200));
+        assert_eq!(b.bytes_unsent(), 0);
+    }
+
+    #[test]
+    fn sequence_numbers_wrap_transparently() {
+        let start = SeqNum(u32::MAX - 50);
+        let mut b = SendBuffer::new(SegmentationPolicy::Stream, start);
+        b.push(vec![0; 100], SendToken(1));
+        let s = b.next_segment(100, u64::MAX).unwrap();
+        assert_eq!(s.seq, start);
+        assert_eq!(b.nxt(), start + 100);
+        let done = b.on_ack(start + 100);
+        assert_eq!(done, vec![SendToken(1)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "zero-length")]
+    fn empty_push_panics() {
+        msg_buf().push(Vec::new(), SendToken(0));
+    }
+}

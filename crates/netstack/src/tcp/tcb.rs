@@ -1,0 +1,1100 @@
+//! The TCP transmission control block and its state machine.
+//!
+//! This is the protocol engine that the QPIP firmware embeds in its QP
+//! state table (Figure 1: "A common data structure … includes the
+//! inter-network protocol specific information, namely the TCP
+//! transmission control block"). It implements the prototype's subset
+//! (§4.1): RFC 793 connection management, RTT estimation, window
+//! management, congestion and flow control, RFC 1323 timestamps and
+//! window scaling, and header prediction. Out-of-order reassembly and
+//! urgent data are intentionally absent, as in the paper: out-of-order
+//! segments are dropped and re-acknowledged.
+
+use qpip_sim::time::{SimDuration, SimTime};
+use qpip_wire::tcp::{SeqNum, TcpFlags, TcpHeader, TcpOptions};
+
+use super::congestion::Congestion;
+use super::rtt::RttEstimator;
+use super::sendbuf::SendBuffer;
+use crate::types::{Endpoint, NetConfig, OpCounters, PacketKind, SegmentationPolicy, SendToken};
+
+/// Connection states (RFC 793; LISTEN lives in the engine's listener
+/// table, not in a TCB).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TcpState {
+    /// Active open sent a SYN.
+    SynSent,
+    /// Passive open sent a SYN-ACK.
+    SynRcvd,
+    /// Data transfer.
+    Established,
+    /// We closed first; FIN sent, awaiting its ACK.
+    FinWait1,
+    /// Our FIN is acknowledged; awaiting the peer's FIN.
+    FinWait2,
+    /// Both sides closed simultaneously.
+    Closing,
+    /// Final 2×MSL quarantine.
+    TimeWait,
+    /// Peer closed first; we may still send.
+    CloseWait,
+    /// Peer closed, then we closed; awaiting ACK of our FIN.
+    LastAck,
+    /// Fully closed; the TCB can be reaped.
+    Closed,
+}
+
+/// Time spent in TIME-WAIT (2 × MSL; scaled for the SAN environment).
+const TIME_WAIT_DURATION: SimDuration = SimDuration::from_millis(50);
+
+/// Give up after this many consecutive retransmissions of one segment.
+const MAX_RETRIES: u32 = 15;
+
+/// A protocol event surfaced to the engine.
+#[derive(Debug, PartialEq, Eq)]
+pub enum TcbEvent {
+    /// Handshake completed; the connection is usable.
+    Established,
+    /// In-order payload (one event per segment in message mode).
+    Delivered(Vec<u8>),
+    /// A send unit is fully acknowledged.
+    SendComplete(SendToken),
+    /// The peer's FIN arrived in order.
+    PeerClosed,
+    /// The connection reached CLOSED gracefully.
+    Closed,
+    /// The connection was reset (by the peer or by retry exhaustion).
+    Reset,
+}
+
+/// An outgoing segment described abstractly; the engine encodes it into
+/// wire bytes (it knows the IP addresses and computes checksums).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SegmentOut {
+    /// Sequence number.
+    pub seq: SeqNum,
+    /// Acknowledgment number.
+    pub ack: SeqNum,
+    /// Flags.
+    pub flags: TcpFlags,
+    /// Window field (already scaled down for the wire).
+    pub window: u16,
+    /// Options to carry.
+    pub options: TcpOptions,
+    /// Payload.
+    pub payload: Vec<u8>,
+    /// Cost-model classification.
+    pub kind: PacketKind,
+    /// True when this transmission is a retransmission.
+    pub is_retransmit: bool,
+    /// Mark the IP packet ECN-capable (data segments on negotiated-ECN
+    /// connections, RFC 3168).
+    pub ect: bool,
+}
+
+/// The transmission control block for one connection.
+#[derive(Debug)]
+pub struct Tcb {
+    state: TcpState,
+    local: Endpoint,
+    remote: Endpoint,
+
+    // --- send side ---
+    iss: SeqNum,
+    sendbuf: SendBuffer,
+    /// Peer receive window in bytes (already scaled).
+    snd_wnd: u64,
+    /// Segment/ack that last updated `snd_wnd` (RFC 793 WL1/WL2).
+    snd_wl1: SeqNum,
+    snd_wl2: SeqNum,
+    /// Shift the peer asked us to apply to its window field.
+    snd_wscale: u8,
+    /// Peer's MSS from its SYN.
+    peer_mss: usize,
+    congestion: Congestion,
+    rtt: RttEstimator,
+    /// FIN requested by the application.
+    fin_queued: bool,
+    /// FIN transmitted (consumes sequence number `sendbuf.end()`).
+    fin_sent: bool,
+    /// Our FIN's sequence number, once sent.
+    fin_seq: SeqNum,
+    retries: u32,
+    /// Untimed-segment RTT sampling (when timestamps are off).
+    timed_seq: Option<(SeqNum, SimTime)>,
+
+    // --- receive side ---
+    irs: SeqNum,
+    rcv_nxt: SeqNum,
+    /// Receive buffer space backing the advertised window. For QPIP this
+    /// is the total posted receive-WR space (§5.1: "the more receive
+    /// buffer space posted, the larger the TCP receive window").
+    rcv_space: u64,
+    /// Shift we apply to the window field we advertise.
+    rcv_wscale: u8,
+    /// Peer FIN consumed (sequence-wise).
+    peer_fin_rcvd: bool,
+
+    // --- ECN (RFC 3168, §5.2's "network-based mechanisms") ---
+    /// Negotiated on the SYN exchange.
+    ecn_on: bool,
+    /// CE was seen; echo ECE on outgoing ACKs until the peer sets CWR.
+    ece_pending: bool,
+    /// Announce CWR on the next data segment.
+    cwr_due: bool,
+    /// React to ECE at most once per window: ACKs at or below this
+    /// marker belong to the already-reduced window.
+    ecn_reduced_at: SeqNum,
+    /// Window reductions performed in response to ECN-Echo.
+    ecn_reductions: u64,
+
+    // --- RFC 1323 ---
+    ts_on: bool,
+    ts_recent: u32,
+    /// Segments received since the last ACK we sent (delayed ACK).
+    segs_unacked: u32,
+
+    // --- timers ---
+    rto_deadline: Option<SimTime>,
+    delack_deadline: Option<SimTime>,
+    timewait_deadline: Option<SimTime>,
+
+    // --- counters ---
+    retransmit_count: u64,
+    ooo_drops: u64,
+}
+
+impl Tcb {
+    /// Starts an active open: returns the TCB in SYN-SENT plus the SYN.
+    pub fn connect(
+        cfg: &NetConfig,
+        local: Endpoint,
+        remote: Endpoint,
+        iss: SeqNum,
+        now: SimTime,
+    ) -> (Tcb, Vec<SegmentOut>) {
+        let mut tcb = Tcb::new_common(cfg, local, remote, iss);
+        tcb.state = TcpState::SynSent;
+        let syn = tcb.make_syn(cfg, now, false);
+        tcb.arm_rto(now);
+        (tcb, vec![syn])
+    }
+
+    /// Starts a passive open from a received SYN: returns the TCB in
+    /// SYN-RCVD plus the SYN-ACK.
+    pub fn accept(
+        cfg: &NetConfig,
+        local: Endpoint,
+        remote: Endpoint,
+        syn: &TcpHeader,
+        iss: SeqNum,
+        now: SimTime,
+    ) -> (Tcb, Vec<SegmentOut>) {
+        let mut tcb = Tcb::new_common(cfg, local, remote, iss);
+        tcb.state = TcpState::SynRcvd;
+        tcb.irs = syn.seq;
+        tcb.rcv_nxt = syn.seq + 1;
+        tcb.absorb_syn_options(cfg, syn);
+        // ECN negotiation (RFC 3168): the SYN offers with ECE+CWR
+        tcb.ecn_on = cfg.ecn && syn.flags.ece && syn.flags.cwr;
+        let syn_ack = tcb.make_syn(cfg, now, true);
+        tcb.arm_rto(now);
+        (tcb, vec![syn_ack])
+    }
+
+    fn new_common(cfg: &NetConfig, local: Endpoint, remote: Endpoint, iss: SeqNum) -> Tcb {
+        let rcv_space = cfg.recv_buffer as u64;
+        let rcv_wscale = if cfg.window_scale {
+            wscale_for(rcv_space)
+        } else {
+            0
+        };
+        Tcb {
+            state: TcpState::Closed,
+            local,
+            remote,
+            iss,
+            sendbuf: SendBuffer::new(cfg.segmentation, iss + 1),
+            snd_wnd: 0,
+            snd_wl1: SeqNum(0),
+            snd_wl2: SeqNum(0),
+            snd_wscale: 0,
+            peer_mss: 536,
+            congestion: Congestion::new(cfg.max_tcp_payload(), cfg.initial_cwnd_segments),
+            rtt: RttEstimator::new(cfg.min_rto),
+            fin_queued: false,
+            fin_sent: false,
+            fin_seq: SeqNum(0),
+            retries: 0,
+            timed_seq: None,
+            irs: SeqNum(0),
+            rcv_nxt: SeqNum(0),
+            rcv_space,
+            rcv_wscale,
+            peer_fin_rcvd: false,
+            ecn_on: false,
+            ece_pending: false,
+            cwr_due: false,
+            ecn_reduced_at: iss,
+            ecn_reductions: 0,
+            ts_on: false,
+            ts_recent: 0,
+            segs_unacked: 0,
+            rto_deadline: None,
+            delack_deadline: None,
+            timewait_deadline: None,
+            retransmit_count: 0,
+            ooo_drops: 0,
+        }
+    }
+
+    // ----- accessors -------------------------------------------------
+
+    /// Current state.
+    pub fn state(&self) -> TcpState {
+        self.state
+    }
+
+    /// Local endpoint.
+    pub fn local(&self) -> Endpoint {
+        self.local
+    }
+
+    /// Remote endpoint.
+    pub fn remote(&self) -> Endpoint {
+        self.remote
+    }
+
+    /// Bytes in flight (sent, unacknowledged).
+    pub fn bytes_in_flight(&self) -> u64 {
+        self.sendbuf.bytes_in_flight()
+    }
+
+    /// Bytes buffered for sending (in flight + unsent).
+    pub fn bytes_buffered(&self) -> u64 {
+        self.sendbuf.bytes_buffered()
+    }
+
+    /// Total retransmissions performed.
+    pub fn retransmit_count(&self) -> u64 {
+        self.retransmit_count
+    }
+
+    /// Out-of-order segments dropped (no reassembly in the subset).
+    pub fn ooo_drops(&self) -> u64 {
+        self.ooo_drops
+    }
+
+    /// Whether ECN was negotiated on the handshake.
+    pub fn ecn_negotiated(&self) -> bool {
+        self.ecn_on
+    }
+
+    /// Window reductions performed in response to ECN-Echo.
+    pub fn ecn_reductions(&self) -> u64 {
+        self.ecn_reductions
+    }
+
+    /// Smoothed RTT estimate, if any sample was taken.
+    pub fn srtt(&self) -> Option<SimDuration> {
+        self.rtt.srtt()
+    }
+
+    /// Current congestion window in bytes.
+    pub fn cwnd(&self) -> u64 {
+        self.congestion.cwnd()
+    }
+
+    /// Peer's usable send window in bytes.
+    pub fn snd_wnd(&self) -> u64 {
+        self.snd_wnd
+    }
+
+    /// Sets the receive buffer space that backs the advertised window
+    /// (QPIP: total bytes of posted receive WRs).
+    pub fn set_recv_space(&mut self, bytes: u64) {
+        self.rcv_space = bytes;
+    }
+
+    /// Announces the current receive window with a pure ACK — sent when
+    /// posted receive space grows (§5.1: posting buffers transparently
+    /// tunes the receiver window) so a window-blocked sender resumes.
+    pub fn window_update(&mut self, now: SimTime) -> Option<SegmentOut> {
+        matches!(
+            self.state,
+            TcpState::Established | TcpState::CloseWait | TcpState::FinWait1 | TcpState::FinWait2
+        )
+        .then(|| self.make_ack(now, PacketKind::TcpAck))
+    }
+
+    /// Whether the application may still queue data (not closed and no
+    /// FIN queued).
+    pub fn can_send(&self) -> bool {
+        !self.fin_queued
+            && matches!(
+                self.state,
+                TcpState::SynSent | TcpState::SynRcvd | TcpState::Established | TcpState::CloseWait
+            )
+    }
+
+    /// Earliest pending timer deadline.
+    pub fn next_deadline(&self) -> Option<SimTime> {
+        [self.rto_deadline, self.delack_deadline, self.timewait_deadline]
+            .into_iter()
+            .flatten()
+            .min()
+    }
+
+    // ----- application calls ------------------------------------------
+
+    /// Queues one send unit and transmits whatever the windows allow.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called on a closed/closing connection or with empty
+    /// data (callers gate both).
+    pub fn send(
+        &mut self,
+        cfg: &NetConfig,
+        data: Vec<u8>,
+        token: SendToken,
+        now: SimTime,
+        ops: &mut OpCounters,
+    ) -> Vec<SegmentOut> {
+        assert!(
+            matches!(
+                self.state,
+                TcpState::SynSent | TcpState::SynRcvd | TcpState::Established | TcpState::CloseWait
+            ),
+            "send on connection in {:?}",
+            self.state
+        );
+        assert!(!self.fin_queued, "send after close");
+        self.sendbuf.push(data, token);
+        self.try_output(cfg, now, ops)
+    }
+
+    /// Initiates a graceful close; any queued data is sent first, then a
+    /// FIN.
+    pub fn close(&mut self, cfg: &NetConfig, now: SimTime, ops: &mut OpCounters) -> Vec<SegmentOut> {
+        if self.fin_queued || matches!(self.state, TcpState::Closed | TcpState::TimeWait) {
+            return Vec::new();
+        }
+        self.fin_queued = true;
+        self.try_output(cfg, now, ops)
+    }
+
+    /// Aborts the connection, producing an RST.
+    pub fn abort(&mut self) -> SegmentOut {
+        let seq = self.sendbuf.nxt();
+        self.state = TcpState::Closed;
+        self.clear_timers();
+        SegmentOut {
+            seq,
+            ack: self.rcv_nxt,
+            flags: TcpFlags { rst: true, ack: true, ..TcpFlags::NONE },
+            window: 0,
+            options: TcpOptions::default(),
+            payload: Vec::new(),
+            kind: PacketKind::TcpControl,
+            is_retransmit: false,
+            ect: false,
+        }
+    }
+
+    // ----- segment arrival -------------------------------------------
+
+    /// Processes one incoming segment (no congestion mark). Returns
+    /// segments to transmit and protocol events, in order.
+    pub fn on_segment(
+        &mut self,
+        cfg: &NetConfig,
+        hdr: &TcpHeader,
+        payload: &[u8],
+        now: SimTime,
+        ops: &mut OpCounters,
+    ) -> (Vec<SegmentOut>, Vec<TcbEvent>) {
+        self.on_segment_marked(cfg, hdr, payload, false, now, ops)
+    }
+
+    /// Processes one incoming segment whose IP header may carry the
+    /// Congestion-Experienced codepoint (set by a RED/ECN queue in the
+    /// fabric, §5.2).
+    pub fn on_segment_marked(
+        &mut self,
+        cfg: &NetConfig,
+        hdr: &TcpHeader,
+        payload: &[u8],
+        congestion_experienced: bool,
+        now: SimTime,
+        ops: &mut OpCounters,
+    ) -> (Vec<SegmentOut>, Vec<TcbEvent>) {
+        if congestion_experienced && self.ecn_on {
+            // echo ECE until the sender announces CWR (RFC 3168 §6.1.3)
+            self.ece_pending = true;
+        }
+        if hdr.flags.cwr && self.ecn_on {
+            self.ece_pending = false;
+        }
+        let mut out = Vec::new();
+        let mut events = Vec::new();
+        ops.headers_parsed += 1;
+
+        if hdr.flags.rst {
+            if self.state != TcpState::Closed {
+                self.state = TcpState::Closed;
+                self.clear_timers();
+                events.push(TcbEvent::Reset);
+            }
+            return (out, events);
+        }
+
+        match self.state {
+            TcpState::SynSent => {
+                self.on_segment_syn_sent(cfg, hdr, now, &mut out, &mut events, ops);
+            }
+            TcpState::Closed => { /* stray segment; a real stack would RST */ }
+            _ => {
+                self.on_segment_synchronized(cfg, hdr, payload, now, &mut out, &mut events, ops);
+            }
+        }
+        (out, events)
+    }
+
+    fn on_segment_syn_sent(
+        &mut self,
+        cfg: &NetConfig,
+        hdr: &TcpHeader,
+        now: SimTime,
+        out: &mut Vec<SegmentOut>,
+        events: &mut Vec<TcbEvent>,
+        ops: &mut OpCounters,
+    ) {
+        if !(hdr.flags.syn && hdr.flags.ack) || hdr.ack != self.iss + 1 {
+            return; // not our SYN-ACK; ignore (subset: no simultaneous open)
+        }
+        self.irs = hdr.seq;
+        self.rcv_nxt = hdr.seq + 1;
+        self.absorb_syn_options(cfg, hdr);
+        // the SYN-ACK confirms ECN with ECE alone (RFC 3168)
+        self.ecn_on = cfg.ecn && hdr.flags.ece && !hdr.flags.cwr;
+        self.sendbuf.on_ack(hdr.ack); // no data, but aligns una bookkeeping
+        self.update_snd_wnd(hdr);
+        self.state = TcpState::Established;
+        self.retries = 0;
+        self.rto_deadline = None;
+        events.push(TcbEvent::Established);
+        // ACK the SYN-ACK (third step of the rendezvous, §3)
+        out.push(self.make_ack(now, PacketKind::TcpAck));
+        // flush anything queued while connecting
+        out.extend(self.try_output(cfg, now, ops));
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn on_segment_synchronized(
+        &mut self,
+        cfg: &NetConfig,
+        hdr: &TcpHeader,
+        payload: &[u8],
+        now: SimTime,
+        out: &mut Vec<SegmentOut>,
+        events: &mut Vec<TcbEvent>,
+        ops: &mut OpCounters,
+    ) {
+        // -- header prediction (Stevens V2 §28.4): in ESTABLISHED, with
+        // plain ACK/PSH flags, the next expected sequence number and an
+        // unchanged send window, take the fast path. Everything else
+        // falls to the slow path. The NIC cost model charges the same
+        // parse cost either way (Table 3 folds it into "TCP Parse"); the
+        // counters feed the ablation bench.
+        let plain_flags = {
+            let f = hdr.flags;
+            f.ack && !f.syn && !f.fin && !f.rst && !f.urg
+        };
+        let window_unchanged =
+            (u64::from(hdr.window) << self.snd_wscale) == self.snd_wnd;
+        if self.state == TcpState::Established
+            && plain_flags
+            && hdr.seq == self.rcv_nxt
+            && window_unchanged
+        {
+            ops.fast_path_hits += 1;
+        } else {
+            ops.slow_path_hits += 1;
+        }
+
+        // -- RFC 1323 ts_recent maintenance
+        if self.ts_on {
+            if let Some((tsval, _)) = hdr.options.timestamps {
+                if hdr.seq.le(self.rcv_nxt) {
+                    self.ts_recent = tsval;
+                }
+            }
+        }
+
+        // -- SYN-ACK retransmission while in SynRcvd: re-ack
+        if hdr.flags.syn {
+            out.push(self.make_ack(now, PacketKind::TcpAck));
+            return;
+        }
+
+        // -- ACK processing
+        if hdr.flags.ack {
+            self.process_ack(cfg, hdr, payload.is_empty(), now, out, events, ops);
+            if self.state == TcpState::Closed {
+                return;
+            }
+        }
+
+        // -- payload processing
+        if !payload.is_empty() {
+            self.process_payload(cfg, hdr, payload, now, out, events, ops);
+        }
+
+        // -- FIN processing (only when it arrives in order)
+        if hdr.flags.fin && hdr.seq + payload.len() as u32 == self.rcv_nxt && !self.peer_fin_rcvd {
+            self.rcv_nxt += 1;
+            self.peer_fin_rcvd = true;
+            events.push(TcbEvent::PeerClosed);
+            self.transition_on_peer_fin(now, events);
+            out.push(self.make_ack(now, PacketKind::TcpAck));
+            self.segs_unacked = 0;
+            self.delack_deadline = None;
+        }
+
+        // -- send whatever the ACK/window opened up
+        out.extend(self.try_output(cfg, now, ops));
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn process_ack(
+        &mut self,
+        cfg: &NetConfig,
+        hdr: &TcpHeader,
+        payload_empty: bool,
+        now: SimTime,
+        out: &mut Vec<SegmentOut>,
+        events: &mut Vec<TcbEvent>,
+        ops: &mut OpCounters,
+    ) {
+        let una_before = self.sendbuf.una();
+        let fin_outstanding = self.fin_sent && !self.fin_acked(una_before);
+        let advances = una_before.lt(hdr.ack)
+            && (hdr.ack.le(self.sendbuf.end()) || (fin_outstanding && hdr.ack == self.fin_seq + 1));
+
+        // ECN-Echo: reduce once per window (RFC 3168 §6.1.2)
+        if self.ecn_on && hdr.flags.ece && !hdr.flags.syn && self.ecn_reduced_at.lt(hdr.ack) {
+            self.congestion.on_ecn();
+            self.cwr_due = true;
+            self.ecn_reductions += 1;
+            self.ecn_reduced_at = self.sendbuf.nxt();
+        }
+
+        if self.state == TcpState::SynRcvd && hdr.ack == self.iss + 1 {
+            self.state = TcpState::Established;
+            self.retries = 0;
+            self.rto_deadline = None;
+            events.push(TcbEvent::Established);
+            self.update_snd_wnd(hdr);
+            return;
+        }
+
+        if advances {
+            // RTT sampling: timestamps give an unambiguous echo (Karn's
+            // rule satisfied by construction); otherwise use the timed
+            // segment if it was not retransmitted.
+            if self.ts_on {
+                if let Some((_, tsecr)) = hdr.options.timestamps {
+                    if tsecr != 0 {
+                        let now_us = ts_now(now);
+                        let sample_us = now_us.wrapping_sub(tsecr);
+                        if sample_us < 60_000_000 {
+                            let sent = SimTime::from_picos(
+                                now.as_picos()
+                                    .saturating_sub(u64::from(sample_us) * 1_000_000),
+                            );
+                            self.rtt.sample(sent, now, ops);
+                        }
+                    }
+                }
+            } else if let Some((seq, sent)) = self.timed_seq {
+                if seq.lt(hdr.ack) {
+                    self.rtt.sample(sent, now, ops);
+                    self.timed_seq = None;
+                }
+            }
+
+            let acked_bytes = u64::from(hdr.ack - una_before);
+            for token in self.sendbuf.on_ack(hdr.ack) {
+                events.push(TcbEvent::SendComplete(token));
+            }
+            self.congestion.on_ack(acked_bytes, ops);
+            self.retries = 0;
+
+            // FIN acknowledged?
+            if self.fin_sent && hdr.ack == self.fin_seq + 1 {
+                match self.state {
+                    TcpState::FinWait1 => {
+                        self.state = if self.peer_fin_rcvd {
+                            self.enter_time_wait(now);
+                            TcpState::TimeWait
+                        } else {
+                            TcpState::FinWait2
+                        };
+                    }
+                    TcpState::Closing => {
+                        self.enter_time_wait(now);
+                        self.state = TcpState::TimeWait;
+                    }
+                    TcpState::LastAck => {
+                        self.state = TcpState::Closed;
+                        self.clear_timers();
+                        events.push(TcbEvent::Closed);
+                        return;
+                    }
+                    _ => {}
+                }
+            }
+
+            // restart or clear the retransmission timer
+            if self.outstanding(now) {
+                self.arm_rto(now);
+            } else {
+                self.rto_deadline = None;
+            }
+        } else if hdr.ack == una_before && self.sendbuf.bytes_in_flight() > 0 && payload_empty {
+            // duplicate ACK
+            if self.congestion.on_dup_ack() {
+                // fast retransmit
+                if let Some(seg) = self.sendbuf.retransmit_front(self.max_payload(cfg)) {
+                    self.retransmit_count += 1;
+                    let s = self.make_data_segment(seg.seq, seg.bytes, seg.psh, now, true);
+                    out.push(s);
+                    self.arm_rto(now);
+                }
+            }
+        }
+
+        self.update_snd_wnd(hdr);
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn process_payload(
+        &mut self,
+        cfg: &NetConfig,
+        hdr: &TcpHeader,
+        payload: &[u8],
+        now: SimTime,
+        out: &mut Vec<SegmentOut>,
+        events: &mut Vec<TcbEvent>,
+        _ops: &mut OpCounters,
+    ) {
+        if !matches!(
+            self.state,
+            TcpState::Established | TcpState::FinWait1 | TcpState::FinWait2
+        ) {
+            return;
+        }
+        let seg_end = hdr.seq + payload.len() as u32;
+        if seg_end.le(self.rcv_nxt) {
+            // pure duplicate: re-ACK so the peer's retransmission stops
+            out.push(self.make_ack(now, PacketKind::TcpAck));
+            return;
+        }
+        if self.rcv_nxt.lt(hdr.seq) {
+            // out of order: the subset has no reassembly (§4.1); drop and
+            // send a duplicate ACK to trigger the peer's fast retransmit.
+            self.ooo_drops += 1;
+            out.push(self.make_ack(now, PacketKind::TcpAck));
+            return;
+        }
+        // trim any already-received prefix
+        let offset = (self.rcv_nxt - hdr.seq) as usize;
+        let fresh = &payload[offset..];
+        self.rcv_nxt += fresh.len() as u32;
+        events.push(TcbEvent::Delivered(fresh.to_vec()));
+
+        // ACK generation policy
+        match cfg.ack_policy {
+            crate::types::AckPolicy::Immediate => {
+                out.push(self.make_ack(now, PacketKind::TcpAck));
+                self.segs_unacked = 0;
+                self.delack_deadline = None;
+            }
+            crate::types::AckPolicy::Delayed(timeout) => {
+                self.segs_unacked += 1;
+                if self.segs_unacked >= 2 {
+                    out.push(self.make_ack(now, PacketKind::TcpAck));
+                    self.segs_unacked = 0;
+                    self.delack_deadline = None;
+                } else {
+                    self.delack_deadline = Some(now + timeout);
+                }
+            }
+        }
+    }
+
+    fn transition_on_peer_fin(&mut self, now: SimTime, _events: &mut [TcbEvent]) {
+        match self.state {
+            TcpState::Established => self.state = TcpState::CloseWait,
+            TcpState::FinWait1 => {
+                // our FIN not yet acked: simultaneous close
+                self.state = TcpState::Closing;
+            }
+            TcpState::FinWait2 => {
+                self.enter_time_wait(now);
+                self.state = TcpState::TimeWait;
+            }
+            _ => {}
+        }
+    }
+
+    // ----- timers ------------------------------------------------------
+
+    /// Advances timer state to `now`, producing retransmissions, delayed
+    /// ACKs, TIME-WAIT reaping and abort events.
+    pub fn on_timer(
+        &mut self,
+        cfg: &NetConfig,
+        now: SimTime,
+        ops: &mut OpCounters,
+    ) -> (Vec<SegmentOut>, Vec<TcbEvent>) {
+        let mut out = Vec::new();
+        let mut events = Vec::new();
+
+        if let Some(dl) = self.timewait_deadline {
+            if dl <= now {
+                self.timewait_deadline = None;
+                self.state = TcpState::Closed;
+                self.clear_timers();
+                events.push(TcbEvent::Closed);
+                return (out, events);
+            }
+        }
+
+        if let Some(dl) = self.delack_deadline {
+            if dl <= now {
+                self.delack_deadline = None;
+                self.segs_unacked = 0;
+                out.push(self.make_ack(now, PacketKind::TcpAck));
+            }
+        }
+
+        if let Some(dl) = self.rto_deadline {
+            if dl <= now {
+                self.rto_deadline = None;
+                self.retries += 1;
+                if self.retries > MAX_RETRIES {
+                    self.state = TcpState::Closed;
+                    self.clear_timers();
+                    events.push(TcbEvent::Reset);
+                    return (out, events);
+                }
+                self.congestion.on_timeout();
+                self.rtt.backoff();
+                ops.muls += 1; // backoff shift/clamp arithmetic
+                match self.state {
+                    TcpState::SynSent => {
+                        self.retransmit_count += 1;
+                        out.push(self.make_syn_raw(cfg, now, false, true));
+                    }
+                    TcpState::SynRcvd => {
+                        self.retransmit_count += 1;
+                        out.push(self.make_syn_raw(cfg, now, true, true));
+                    }
+                    _ => {
+                        if self.sendbuf.bytes_in_flight() > 0 {
+                            self.sendbuf.rewind_to_una();
+                            // Karn: do not time retransmitted data
+                            self.timed_seq = None;
+                            if let Some(seg) =
+                                self.sendbuf.next_segment(self.max_payload(cfg), u64::MAX)
+                            {
+                                self.retransmit_count += 1;
+                                let s =
+                                    self.make_data_segment(seg.seq, seg.bytes, seg.psh, now, true);
+                                out.push(s);
+                            }
+                        } else if self.fin_sent && !self.fin_acked(self.sendbuf.una()) {
+                            self.retransmit_count += 1;
+                            out.push(self.make_fin(now, true));
+                        }
+                    }
+                }
+                if self.outstanding(now) {
+                    self.arm_rto(now);
+                }
+            }
+        }
+
+        (out, events)
+    }
+
+    // ----- output ------------------------------------------------------
+
+    /// Transmits as much buffered data as the congestion and peer
+    /// windows allow, then a FIN if one is queued and the buffer drained.
+    pub fn try_output(
+        &mut self,
+        cfg: &NetConfig,
+        now: SimTime,
+        ops: &mut OpCounters,
+    ) -> Vec<SegmentOut> {
+        let mut out = Vec::new();
+        // new data (and a first FIN) flow only in these states; FIN
+        // retransmission is handled by the timer path.
+        if !matches!(self.state, TcpState::Established | TcpState::CloseWait) {
+            return out;
+        }
+        loop {
+            let in_flight = self.sendbuf.bytes_in_flight();
+            let wnd = self.usable_window(in_flight);
+            // Nagle: with data in flight and less than a full segment
+            // unsent, hold back (disabled when nodelay, the common case
+            // here — ttcp sets TCP_NODELAY and QPIP always pushes).
+            if !cfg.nodelay
+                && in_flight > 0
+                && self.sendbuf.bytes_unsent() < self.max_payload(cfg) as u64
+            {
+                break;
+            }
+            let Some(seg) = self.sendbuf.next_segment(self.max_payload(cfg), wnd) else {
+                break;
+            };
+            ops.headers_built += 1;
+            if !self.ts_on && self.timed_seq.is_none() {
+                self.timed_seq = Some((seg.seq, now));
+            }
+            let s = self.make_data_segment(seg.seq, seg.bytes, seg.psh, now, false);
+            out.push(s);
+            // every outgoing segment acknowledges rcv_nxt, satisfying any
+            // pending delayed ACK (the piggyback rule)
+            self.segs_unacked = 0;
+            self.delack_deadline = None;
+        }
+        // FIN once everything queued has been handed to the wire
+        if self.fin_queued && !self.fin_sent && self.sendbuf.bytes_unsent() == 0 {
+            self.fin_seq = self.sendbuf.end();
+            self.fin_sent = true;
+            out.push(self.make_fin(now, false));
+            self.state = match self.state {
+                TcpState::CloseWait => TcpState::LastAck,
+                _ => TcpState::FinWait1,
+            };
+        }
+        if self.outstanding(now) && self.rto_deadline.is_none() {
+            self.arm_rto(now);
+        }
+        out
+    }
+
+    // ----- segment builders -------------------------------------------
+
+    fn make_syn(&mut self, cfg: &NetConfig, now: SimTime, is_syn_ack: bool) -> SegmentOut {
+        self.make_syn_raw(cfg, now, is_syn_ack, false)
+    }
+
+    fn make_syn_raw(
+        &mut self,
+        cfg: &NetConfig,
+        now: SimTime,
+        is_syn_ack: bool,
+        is_retransmit: bool,
+    ) -> SegmentOut {
+        let options = TcpOptions {
+            mss: Some(cfg.max_tcp_payload().min(usize::from(u16::MAX)) as u16),
+            window_scale: cfg.window_scale.then_some(self.rcv_wscale),
+            timestamps: cfg.timestamps.then(|| (ts_now(now), self.ts_recent)),
+        };
+        let mut flags = if is_syn_ack { TcpFlags::SYN_ACK } else { TcpFlags::SYN };
+        if is_syn_ack {
+            flags.ece = self.ecn_on; // confirm (RFC 3168)
+        } else if cfg.ecn {
+            flags.ece = true; // offer
+            flags.cwr = true;
+        }
+        SegmentOut {
+            seq: self.iss,
+            ack: if is_syn_ack { self.rcv_nxt } else { SeqNum(0) },
+            flags,
+            window: self.advertised_window(),
+            options,
+            payload: Vec::new(),
+            kind: PacketKind::TcpControl,
+            is_retransmit,
+            ect: false,
+        }
+    }
+
+    fn make_ack(&mut self, now: SimTime, kind: PacketKind) -> SegmentOut {
+        let flags = TcpFlags {
+            ece: self.ecn_on && self.ece_pending,
+            ..TcpFlags::ACK
+        };
+        SegmentOut {
+            seq: self.sendbuf.nxt() + u32::from(self.fin_sent_and_counted()),
+            ack: self.rcv_nxt,
+            flags,
+            window: self.advertised_window(),
+            options: self.data_options(now),
+            payload: Vec::new(),
+            kind,
+            is_retransmit: false,
+            ect: false,
+        }
+    }
+
+    fn make_data_segment(
+        &mut self,
+        seq: SeqNum,
+        payload: Vec<u8>,
+        psh: bool,
+        now: SimTime,
+        is_retransmit: bool,
+    ) -> SegmentOut {
+        let cwr = self.ecn_on && self.cwr_due;
+        if cwr {
+            self.cwr_due = false;
+        }
+        SegmentOut {
+            seq,
+            ack: self.rcv_nxt,
+            flags: TcpFlags {
+                ack: true,
+                psh,
+                ece: self.ecn_on && self.ece_pending,
+                cwr,
+                ..TcpFlags::NONE
+            },
+            window: self.advertised_window(),
+            options: self.data_options(now),
+            payload,
+            kind: PacketKind::TcpData,
+            is_retransmit,
+            // retransmissions are not ECT (RFC 3168 §6.1.5)
+            ect: self.ecn_on && !is_retransmit,
+        }
+    }
+
+    fn make_fin(&mut self, now: SimTime, is_retransmit: bool) -> SegmentOut {
+        SegmentOut {
+            seq: self.fin_seq,
+            ack: self.rcv_nxt,
+            flags: TcpFlags { fin: true, ack: true, ..TcpFlags::NONE },
+            window: self.advertised_window(),
+            options: self.data_options(now),
+            payload: Vec::new(),
+            kind: PacketKind::TcpControl,
+            is_retransmit,
+            ect: false,
+        }
+    }
+
+    fn data_options(&self, now: SimTime) -> TcpOptions {
+        TcpOptions {
+            mss: None,
+            window_scale: None,
+            timestamps: self.ts_on.then(|| (ts_now(now), self.ts_recent)),
+        }
+    }
+
+    // ----- helpers -----------------------------------------------------
+
+    fn absorb_syn_options(&mut self, cfg: &NetConfig, syn: &TcpHeader) {
+        if let Some(mss) = syn.options.mss {
+            self.peer_mss = usize::from(mss);
+        }
+        self.snd_wscale = match (cfg.window_scale, syn.options.window_scale) {
+            (true, Some(ws)) => ws.min(14),
+            _ => {
+                self.rcv_wscale = 0;
+                0
+            }
+        };
+        self.ts_on = cfg.timestamps && syn.options.timestamps.is_some();
+        if let Some((tsval, _)) = syn.options.timestamps {
+            if self.ts_on {
+                self.ts_recent = tsval;
+            }
+        }
+        // SYN windows are never scaled
+        self.snd_wnd = u64::from(syn.window);
+        self.snd_wl1 = syn.seq;
+        self.snd_wl2 = SeqNum(0);
+    }
+
+    fn update_snd_wnd(&mut self, hdr: &TcpHeader) {
+        if self.snd_wl1.lt(hdr.seq)
+            || (self.snd_wl1 == hdr.seq && self.snd_wl2.le(hdr.ack))
+        {
+            self.snd_wnd = u64::from(hdr.window) << self.snd_wscale;
+            self.snd_wl1 = hdr.seq;
+            self.snd_wl2 = hdr.ack;
+        }
+    }
+
+    fn usable_window(&self, in_flight: u64) -> u64 {
+        self.snd_wnd
+            .min(self.congestion.cwnd())
+            .saturating_sub(in_flight)
+    }
+
+    fn advertised_window(&self) -> u16 {
+        let w = self.rcv_space >> self.rcv_wscale;
+        w.min(u64::from(u16::MAX)) as u16
+    }
+
+    fn max_payload(&self, cfg: &NetConfig) -> usize {
+        match cfg.segmentation {
+            SegmentationPolicy::MessagePerSegment => cfg.max_tcp_payload(),
+            SegmentationPolicy::Stream => cfg.max_tcp_payload().min(self.peer_mss),
+        }
+    }
+
+    fn outstanding(&self, _now: SimTime) -> bool {
+        self.sendbuf.bytes_in_flight() > 0
+            || (self.fin_sent && !self.fin_acked(self.sendbuf.una()))
+            || matches!(self.state, TcpState::SynSent | TcpState::SynRcvd)
+    }
+
+    fn fin_acked(&self, una: SeqNum) -> bool {
+        self.fin_sent && self.fin_seq.lt(una)
+    }
+
+    fn fin_sent_and_counted(&self) -> bool {
+        self.fin_sent
+    }
+
+    fn arm_rto(&mut self, now: SimTime) {
+        self.rto_deadline = Some(now + self.rtt.rto());
+    }
+
+    fn enter_time_wait(&mut self, now: SimTime) {
+        self.rto_deadline = None;
+        self.delack_deadline = None;
+        self.timewait_deadline = Some(now + TIME_WAIT_DURATION);
+    }
+
+    fn clear_timers(&mut self) {
+        self.rto_deadline = None;
+        self.delack_deadline = None;
+        self.timewait_deadline = None;
+    }
+}
+
+/// RFC 1323 timestamp clock: microseconds of simulated time, truncated
+/// to 32 bits (identical on both ends of the simulation, which is fine —
+/// TSval is opaque to the peer).
+fn ts_now(now: SimTime) -> u32 {
+    ((now.as_picos() / 1_000_000) & 0xffff_ffff) as u32
+}
+
+/// Chooses a window-scale shift so `space` fits the 16-bit window field.
+fn wscale_for(space: u64) -> u8 {
+    let mut shift = 0u8;
+    while shift < 14 && (space >> shift) > u64::from(u16::MAX) {
+        shift += 1;
+    }
+    shift
+}
+

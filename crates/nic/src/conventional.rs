@@ -1,0 +1,220 @@
+//! Conventional ("dumb") NIC models for the host-based baselines: the
+//! Intel Pro/1000 Gigabit Ethernet adapter and the Myrinet adapter
+//! running GM as a simple IP link (§4.2.1). The protocol stack stays on
+//! the host; these devices only move frames by DMA and raise interrupts.
+
+use qpip_sim::params;
+use qpip_sim::resource::BandwidthPipe;
+use qpip_sim::time::{Clock, Cycles, SimDuration, SimTime};
+
+/// Configuration of a conventional NIC.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ConvNicConfig {
+    /// Per-packet transmit-side processing on the adapter.
+    pub tx_proc_cycles: u64,
+    /// Per-packet receive-side processing on the adapter.
+    pub rx_proc_cycles: u64,
+    /// Adapter clock for those cycles.
+    pub clock: Clock,
+    /// Receive interrupts are coalesced: at most one interrupt per this
+    /// many packets while the stream stays dense…
+    pub coalesce_pkts: u64,
+    /// …where "dense" means inter-arrival gaps below this.
+    pub coalesce_gap: SimDuration,
+}
+
+impl ConvNicConfig {
+    /// Intel Pro/1000-like ASIC: negligible per-frame engine cost,
+    /// moderate interrupt coalescing.
+    pub fn gige() -> Self {
+        ConvNicConfig {
+            tx_proc_cycles: 120,
+            rx_proc_cycles: 150,
+            clock: Clock::from_mhz(133),
+            coalesce_pkts: params::GIGE_INTR_COALESCE_PKTS,
+            coalesce_gap: SimDuration::from_micros(30),
+        }
+    }
+
+    /// Myrinet adapter running GM firmware as an IP link: the LANai
+    /// executes GM's send/receive handling per packet, and every receive
+    /// interrupts the host (no coalescing in the GM IP path).
+    pub fn gm_myrinet() -> Self {
+        ConvNicConfig {
+            tx_proc_cycles: params::GM_NIC_TX_CYCLES,
+            rx_proc_cycles: params::GM_NIC_RX_CYCLES,
+            clock: params::nic_clock(),
+            coalesce_pkts: 1,
+            coalesce_gap: SimDuration::ZERO,
+        }
+    }
+}
+
+/// Outcome of a receive: when the frame is readable in host memory, and
+/// whether this frame raises a host interrupt.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RxOutcome {
+    /// Frame bytes available in the host ring buffer.
+    pub data_ready: SimTime,
+    /// `true` when the adapter asserts an interrupt for this frame.
+    pub interrupt: bool,
+}
+
+/// A descriptor-ring NIC without protocol offload.
+///
+/// # Examples
+///
+/// ```
+/// use qpip_nic::conventional::{ConvNicConfig, ConventionalNic};
+/// use qpip_sim::time::SimTime;
+///
+/// let mut nic = ConventionalNic::new(ConvNicConfig::gige());
+/// // the frame DMAs across PCI before it can start on the wire
+/// let wire_start = nic.tx(SimTime::ZERO, 1500);
+/// assert!(wire_start > SimTime::ZERO);
+/// // a sparse receive interrupts the host
+/// let rx = nic.rx(SimTime::from_micros(500), 1500);
+/// assert!(rx.interrupt);
+/// ```
+#[derive(Debug)]
+pub struct ConventionalNic {
+    cfg: ConvNicConfig,
+    dma_read: BandwidthPipe,
+    dma_write: BandwidthPipe,
+    engine_free: SimTime,
+    last_rx: Option<SimTime>,
+    pkts_since_intr: u64,
+    tx_packets: u64,
+    rx_packets: u64,
+    interrupts: u64,
+}
+
+impl ConventionalNic {
+    /// Creates a NIC.
+    pub fn new(cfg: ConvNicConfig) -> Self {
+        ConventionalNic {
+            cfg,
+            dma_read: BandwidthPipe::new("pci-dma-rd", params::PCI_DMA_READ_BYTES_PER_SEC),
+            dma_write: BandwidthPipe::new("pci-dma-wr", params::PCI_DMA_WRITE_BYTES_PER_SEC),
+            engine_free: SimTime::ZERO,
+            last_rx: None,
+            pkts_since_intr: 0,
+            tx_packets: 0,
+            rx_packets: 0,
+            interrupts: 0,
+        }
+    }
+
+    /// Transmits a frame handed over by the driver at `now`; returns the
+    /// instant the frame starts on the wire.
+    pub fn tx(&mut self, now: SimTime, frame_len: usize) -> SimTime {
+        self.tx_packets += 1;
+        let dma_done = self.dma_read.transfer(now, frame_len as u64)
+            + SimDuration::from_nanos(params::PCI_DMA_SETUP_NS);
+        let proc = self.cfg.clock.cycles_to_duration(Cycles(self.cfg.tx_proc_cycles));
+        let start = dma_done.max(self.engine_free) + proc;
+        self.engine_free = start;
+        start
+    }
+
+    /// Receives a frame whose last byte arrived from the wire at `now`.
+    pub fn rx(&mut self, now: SimTime, frame_len: usize) -> RxOutcome {
+        self.rx_packets += 1;
+        let proc = self.cfg.clock.cycles_to_duration(Cycles(self.cfg.rx_proc_cycles));
+        let proc_done = now.max(self.engine_free) + proc;
+        self.engine_free = proc_done;
+        let data_ready = self.dma_write.transfer(proc_done, frame_len as u64)
+            + SimDuration::from_nanos(params::PCI_DMA_SETUP_NS);
+        // interrupt moderation: a sparse stream interrupts per frame; a
+        // dense stream interrupts once per coalesce_pkts
+        let dense = self
+            .last_rx
+            .is_some_and(|t| now.duration_since(t) < self.cfg.coalesce_gap);
+        self.last_rx = Some(now);
+        self.pkts_since_intr += 1;
+        let interrupt = !dense || self.pkts_since_intr >= self.cfg.coalesce_pkts;
+        if interrupt {
+            self.pkts_since_intr = 0;
+            self.interrupts += 1;
+        }
+        RxOutcome { data_ready, interrupt }
+    }
+
+    /// Frames transmitted.
+    pub fn tx_packets(&self) -> u64 {
+        self.tx_packets
+    }
+
+    /// Frames received.
+    pub fn rx_packets(&self) -> u64 {
+        self.rx_packets
+    }
+
+    /// Interrupts asserted.
+    pub fn interrupts(&self) -> u64 {
+        self.interrupts
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tx_pays_dma_and_engine_cost() {
+        let mut nic = ConventionalNic::new(ConvNicConfig::gige());
+        let start = nic.tx(SimTime::ZERO, 1500);
+        // 1500B over the 80 MB/s chipset read path ≈ 18.75 µs + 0.7 µs
+        // setup + ~0.9 µs engine
+        let us = start.as_micros_f64();
+        assert!((19.0..22.0).contains(&us), "{us}");
+        assert_eq!(nic.tx_packets(), 1);
+    }
+
+    #[test]
+    fn sparse_receives_interrupt_every_frame() {
+        let mut nic = ConventionalNic::new(ConvNicConfig::gige());
+        for i in 0..5u64 {
+            let t = SimTime::from_micros(i * 1000); // 1 ms apart: sparse
+            let out = nic.rx(t, 1500);
+            assert!(out.interrupt, "sparse frame {i} should interrupt");
+        }
+        assert_eq!(nic.interrupts(), 5);
+    }
+
+    #[test]
+    fn dense_receives_coalesce() {
+        let mut nic = ConventionalNic::new(ConvNicConfig::gige());
+        let mut interrupts = 0;
+        for i in 0..16u64 {
+            let t = SimTime::from_micros(i * 12); // 12 µs apart: dense
+            if nic.rx(t, 1500).interrupt {
+                interrupts += 1;
+            }
+        }
+        // first frame interrupts, then one per 4
+        assert!(interrupts <= 5, "{interrupts}");
+        assert!(interrupts >= 4, "{interrupts}");
+    }
+
+    #[test]
+    fn gm_interrupts_every_packet_even_dense() {
+        let mut nic = ConventionalNic::new(ConvNicConfig::gm_myrinet());
+        for i in 0..8u64 {
+            let out = nic.rx(SimTime::from_micros(i * 5), 9000);
+            assert!(out.interrupt);
+        }
+        assert_eq!(nic.interrupts(), 8);
+    }
+
+    #[test]
+    fn back_to_back_tx_serialize_on_dma() {
+        let mut nic = ConventionalNic::new(ConvNicConfig::gige());
+        let t1 = nic.tx(SimTime::ZERO, 9000);
+        let t2 = nic.tx(SimTime::ZERO, 9000);
+        assert!(t2 > t1);
+        let gap = (t2 - t1).as_micros_f64();
+        // ≥ one 9000-byte PCI serialization (~33.8 µs)
+        assert!(gap > 30.0, "{gap}");
+    }
+}

@@ -1,0 +1,183 @@
+//! Per-stage NIC-processor occupancy instrumentation.
+//!
+//! Reproduces the measurement the paper made with the LANai 9 cycle
+//! counter (§4.2.2, Tables 2 & 3): every firmware stage records how long
+//! the NIC processor was occupied, bucketed by what kind of packet was
+//! being handled.
+
+use std::collections::HashMap;
+
+use qpip_sim::stats::Summary;
+use qpip_sim::time::SimDuration;
+
+/// A firmware processing stage (the rows of Tables 2 and 3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Stage {
+    /// Doorbell FIFO service.
+    DoorbellProcess,
+    /// Endpoint scheduler pass.
+    Schedule,
+    /// Work-request fetch (DMA from host memory).
+    GetWr,
+    /// Data fetch (DMA setup + start).
+    GetData,
+    /// TCP header construction.
+    BuildTcpHdr,
+    /// UDP header construction.
+    BuildUdpHdr,
+    /// IPv6 header construction.
+    BuildIpHdr,
+    /// Firmware checksum loop (absent in hardware mode).
+    FwChecksum,
+    /// Handoff to the media transmit engine.
+    MediaXmt,
+    /// Post-send WR/QP status update.
+    UpdateTx,
+    /// Media receive engine service.
+    MediaRcv,
+    /// IPv6 header parse.
+    IpParse,
+    /// TCP header parse (incl. RTT-estimator math on ACKs).
+    TcpParse,
+    /// UDP header parse.
+    UdpParse,
+    /// Data placement (DMA to the posted host buffer).
+    PutData,
+    /// Receive-side WR/CQ update.
+    UpdateRx,
+}
+
+impl Stage {
+    /// The paper's row label.
+    pub fn label(self) -> &'static str {
+        match self {
+            Stage::DoorbellProcess => "Doorbell Process",
+            Stage::Schedule => "Schedule",
+            Stage::GetWr => "Get WR",
+            Stage::GetData => "Get Data",
+            Stage::BuildTcpHdr => "Build TCP Hdr",
+            Stage::BuildUdpHdr => "Build UDP Hdr",
+            Stage::BuildIpHdr => "Build IP Hdr",
+            Stage::FwChecksum => "FW Checksum",
+            Stage::MediaXmt => "Send",
+            Stage::UpdateTx => "Update",
+            Stage::MediaRcv => "Media Rcv",
+            Stage::IpParse => "IP Parse",
+            Stage::TcpParse => "TCP Parse",
+            Stage::UdpParse => "UDP Parse",
+            Stage::PutData => "Put Data",
+            Stage::UpdateRx => "Update",
+        }
+    }
+}
+
+/// What the NIC was handling when a stage ran (the columns of Tables 2
+/// and 3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum PacketClass {
+    /// Transmit path carrying payload.
+    DataSend,
+    /// Transmit path for a pure acknowledgment.
+    AckSend,
+    /// Receive path carrying payload.
+    DataRecv,
+    /// Receive path for a pure acknowledgment.
+    AckRecv,
+    /// UDP transmit.
+    UdpSend,
+    /// UDP receive.
+    UdpRecv,
+    /// Connection management traffic.
+    Control,
+}
+
+/// Accumulated per-(stage, class) occupancy.
+#[derive(Debug, Default)]
+pub struct Occupancy {
+    cells: HashMap<(Stage, PacketClass), Summary>,
+    total_busy: SimDuration,
+}
+
+impl Occupancy {
+    /// Creates an empty table.
+    pub fn new() -> Self {
+        Occupancy::default()
+    }
+
+    /// Records one stage execution.
+    pub fn record(&mut self, stage: Stage, class: PacketClass, d: SimDuration) {
+        self.cells
+            .entry((stage, class))
+            .or_default()
+            .record_duration_us(d);
+        self.total_busy += d;
+    }
+
+    /// Mean occupancy of a cell in microseconds, if it ever ran.
+    pub fn mean_us(&self, stage: Stage, class: PacketClass) -> Option<f64> {
+        self.cells.get(&(stage, class)).map(Summary::mean)
+    }
+
+    /// Number of executions of a cell.
+    pub fn count(&self, stage: Stage, class: PacketClass) -> usize {
+        self.cells.get(&(stage, class)).map_or(0, Summary::count)
+    }
+
+    /// Total processor busy time recorded.
+    pub fn total_busy(&self) -> SimDuration {
+        self.total_busy
+    }
+
+    /// All populated cells, sorted for stable output.
+    pub fn cells(&self) -> Vec<((Stage, PacketClass), f64, usize)> {
+        let mut v: Vec<_> = self
+            .cells
+            .iter()
+            .map(|(&k, s)| (k, s.mean(), s.count()))
+            .collect();
+        v.sort_by_key(|a| a.0);
+        v
+    }
+
+    /// Clears all recorded samples.
+    pub fn reset(&mut self) {
+        self.cells.clear();
+        self.total_busy = SimDuration::ZERO;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_and_averages() {
+        let mut o = Occupancy::new();
+        o.record(Stage::GetWr, PacketClass::DataSend, SimDuration::from_micros(5));
+        o.record(Stage::GetWr, PacketClass::DataSend, SimDuration::from_micros(6));
+        assert_eq!(o.mean_us(Stage::GetWr, PacketClass::DataSend), Some(5.5));
+        assert_eq!(o.count(Stage::GetWr, PacketClass::DataSend), 2);
+        assert_eq!(o.mean_us(Stage::GetWr, PacketClass::AckSend), None);
+        assert_eq!(o.total_busy(), SimDuration::from_micros(11));
+    }
+
+    #[test]
+    fn cells_sorted_and_reset() {
+        let mut o = Occupancy::new();
+        o.record(Stage::TcpParse, PacketClass::AckRecv, SimDuration::from_micros(14));
+        o.record(Stage::IpParse, PacketClass::AckRecv, SimDuration::from_micros(1));
+        let cells = o.cells();
+        assert_eq!(cells.len(), 2);
+        assert!(cells[0].0 .0 < cells[1].0 .0);
+        o.reset();
+        assert!(o.cells().is_empty());
+        assert_eq!(o.total_busy(), SimDuration::ZERO);
+    }
+
+    #[test]
+    fn labels_match_paper_rows() {
+        assert_eq!(Stage::GetWr.label(), "Get WR");
+        assert_eq!(Stage::MediaXmt.label(), "Send");
+        assert_eq!(Stage::UpdateRx.label(), "Update");
+    }
+}

@@ -1,0 +1,277 @@
+//! The discrete-event simulation kernel.
+//!
+//! [`Simulator`] is a generic calendar queue: callers schedule events of
+//! some type `E` at absolute instants or relative delays, then drain them
+//! in time order. Ties are broken by insertion order, which makes every
+//! run fully deterministic.
+
+use std::cmp::Ordering;
+use std::fmt;
+use std::collections::BinaryHeap;
+use std::collections::HashSet;
+
+use crate::time::{SimDuration, SimTime};
+
+/// A handle identifying a scheduled event, usable to cancel it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct EventId(u64);
+
+struct Entry<E> {
+    at: SimTime,
+    seq: u64,
+    event: E,
+}
+
+impl<E> PartialEq for Entry<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl<E> Eq for Entry<E> {}
+impl<E> PartialOrd for Entry<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<E> Ord for Entry<E> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap; invert so the earliest (time, seq) pops
+        // first.
+        other
+            .at
+            .cmp(&self.at)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// A deterministic discrete-event scheduler over events of type `E`.
+///
+/// # Examples
+///
+/// ```
+/// use qpip_sim::kernel::Simulator;
+/// use qpip_sim::time::{SimDuration, SimTime};
+///
+/// let mut sim: Simulator<&str> = Simulator::new();
+/// sim.schedule_after(SimDuration::from_micros(10), "b");
+/// sim.schedule_after(SimDuration::from_micros(5), "a");
+/// let (t, e) = sim.next().unwrap();
+/// assert_eq!((t, e), (SimTime::from_micros(5), "a"));
+/// let (t, e) = sim.next().unwrap();
+/// assert_eq!((t, e), (SimTime::from_micros(10), "b"));
+/// assert!(sim.next().is_none());
+/// ```
+pub struct Simulator<E> {
+    now: SimTime,
+    seq: u64,
+    queue: BinaryHeap<Entry<E>>,
+    cancelled: HashSet<u64>,
+    processed: u64,
+}
+
+impl<E> fmt::Debug for Simulator<E> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Simulator")
+            .field("now", &self.now)
+            .field("pending", &self.pending())
+            .field("processed", &self.processed)
+            .finish()
+    }
+}
+
+impl<E> Default for Simulator<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> Simulator<E> {
+    /// Creates an empty simulator at time zero.
+    pub fn new() -> Self {
+        Simulator {
+            now: SimTime::ZERO,
+            seq: 0,
+            queue: BinaryHeap::new(),
+            cancelled: HashSet::new(),
+            processed: 0,
+        }
+    }
+
+    /// The current simulated time (the timestamp of the last event
+    /// returned by [`Simulator::next`], or zero initially).
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Number of events delivered so far.
+    pub fn events_processed(&self) -> u64 {
+        self.processed
+    }
+
+    /// Number of events currently pending (including cancelled entries not
+    /// yet drained).
+    pub fn pending(&self) -> usize {
+        self.queue.len() - self.cancelled.len()
+    }
+
+    /// Returns `true` if no live events remain.
+    pub fn is_idle(&self) -> bool {
+        self.pending() == 0
+    }
+
+    /// Schedules `event` at the absolute instant `at`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `at` is earlier than the current time: the simulation
+    /// cannot deliver events into its own past.
+    pub fn schedule_at(&mut self, at: SimTime, event: E) -> EventId {
+        assert!(
+            at >= self.now,
+            "cannot schedule into the past: {at} < now {}",
+            self.now
+        );
+        let seq = self.seq;
+        self.seq += 1;
+        self.queue.push(Entry { at, seq, event });
+        EventId(seq)
+    }
+
+    /// Schedules `event` after a relative `delay`.
+    pub fn schedule_after(&mut self, delay: SimDuration, event: E) -> EventId {
+        self.schedule_at(self.now + delay, event)
+    }
+
+    /// Cancels a previously scheduled event. Returns `true` if the event
+    /// was still pending.
+    pub fn cancel(&mut self, id: EventId) -> bool {
+        // We cannot remove from the heap cheaply; record the id and skip
+        // the entry when it surfaces.
+        if id.0 < self.seq {
+            self.cancelled.insert(id.0)
+        } else {
+            false
+        }
+    }
+
+    /// The timestamp of the next live event, if any.
+    pub fn peek_time(&mut self) -> Option<SimTime> {
+        self.skip_cancelled();
+        self.queue.peek().map(|e| e.at)
+    }
+
+    /// Pops the next event, advancing the clock to its timestamp.
+    #[allow(clippy::should_implement_trait)] // calendar pop, not Iterator
+    pub fn next(&mut self) -> Option<(SimTime, E)> {
+        self.skip_cancelled();
+        let entry = self.queue.pop()?;
+        debug_assert!(entry.at >= self.now);
+        self.now = entry.at;
+        self.processed += 1;
+        Some((entry.at, entry.event))
+    }
+
+    fn skip_cancelled(&mut self) {
+        while let Some(head) = self.queue.peek() {
+            if self.cancelled.remove(&head.seq) {
+                self.queue.pop();
+            } else {
+                break;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn events_pop_in_time_order() {
+        let mut sim = Simulator::new();
+        sim.schedule_at(SimTime::from_micros(30), 3);
+        sim.schedule_at(SimTime::from_micros(10), 1);
+        sim.schedule_at(SimTime::from_micros(20), 2);
+        let order: Vec<i32> = std::iter::from_fn(|| sim.next().map(|(_, e)| e)).collect();
+        assert_eq!(order, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn ties_break_by_insertion_order() {
+        let mut sim = Simulator::new();
+        let t = SimTime::from_micros(5);
+        for i in 0..100 {
+            sim.schedule_at(t, i);
+        }
+        let order: Vec<i32> = std::iter::from_fn(|| sim.next().map(|(_, e)| e)).collect();
+        assert_eq!(order, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn clock_advances_to_event_time() {
+        let mut sim = Simulator::new();
+        sim.schedule_after(SimDuration::from_micros(7), ());
+        assert_eq!(sim.now(), SimTime::ZERO);
+        sim.next();
+        assert_eq!(sim.now(), SimTime::from_micros(7));
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot schedule into the past")]
+    fn scheduling_into_the_past_panics() {
+        let mut sim = Simulator::new();
+        sim.schedule_at(SimTime::from_micros(10), ());
+        sim.next();
+        sim.schedule_at(SimTime::from_micros(5), ());
+    }
+
+    #[test]
+    fn cancel_prevents_delivery() {
+        let mut sim = Simulator::new();
+        let a = sim.schedule_at(SimTime::from_micros(1), "a");
+        sim.schedule_at(SimTime::from_micros(2), "b");
+        assert!(sim.cancel(a));
+        assert!(!sim.cancel(a), "double-cancel reports false");
+        let (_, e) = sim.next().unwrap();
+        assert_eq!(e, "b");
+        assert!(sim.next().is_none());
+    }
+
+    #[test]
+    fn cancel_unknown_id_is_false() {
+        let mut sim: Simulator<()> = Simulator::new();
+        assert!(!sim.cancel(EventId(42)));
+    }
+
+    #[test]
+    fn pending_counts_live_events_only() {
+        let mut sim = Simulator::new();
+        let a = sim.schedule_at(SimTime::from_micros(1), ());
+        sim.schedule_at(SimTime::from_micros(2), ());
+        assert_eq!(sim.pending(), 2);
+        sim.cancel(a);
+        assert_eq!(sim.pending(), 1);
+        assert!(!sim.is_idle());
+        sim.next();
+        assert!(sim.is_idle());
+    }
+
+    #[test]
+    fn peek_time_skips_cancelled_head() {
+        let mut sim = Simulator::new();
+        let a = sim.schedule_at(SimTime::from_micros(1), ());
+        sim.schedule_at(SimTime::from_micros(2), ());
+        sim.cancel(a);
+        assert_eq!(sim.peek_time(), Some(SimTime::from_micros(2)));
+    }
+
+    #[test]
+    fn events_processed_counts() {
+        let mut sim = Simulator::new();
+        for i in 0..5u32 {
+            sim.schedule_after(SimDuration::from_nanos(u64::from(i)), i);
+        }
+        while sim.next().is_some() {}
+        assert_eq!(sim.events_processed(), 5);
+    }
+}

@@ -1,0 +1,61 @@
+//! Error type for wire-format parsing.
+
+use core::fmt;
+
+/// Error produced when decoding a header from raw bytes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ParseWireError {
+    /// The buffer is shorter than the fixed header.
+    Truncated {
+        /// Bytes required.
+        needed: usize,
+        /// Bytes available.
+        have: usize,
+    },
+    /// A version or type field did not match the expected protocol.
+    BadVersion {
+        /// The value found on the wire.
+        found: u8,
+    },
+    /// A length/offset field points outside the buffer or below the
+    /// minimum legal value.
+    BadLength,
+    /// A TCP option had an illegal kind/length combination.
+    BadOption,
+    /// The checksum did not verify.
+    BadChecksum,
+}
+
+impl fmt::Display for ParseWireError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ParseWireError::Truncated { needed, have } => {
+                write!(f, "truncated header: need {needed} bytes, have {have}")
+            }
+            ParseWireError::BadVersion { found } => {
+                write!(f, "unexpected protocol version {found}")
+            }
+            ParseWireError::BadLength => write!(f, "invalid length or offset field"),
+            ParseWireError::BadOption => write!(f, "malformed option"),
+            ParseWireError::BadChecksum => write!(f, "checksum mismatch"),
+        }
+    }
+}
+
+impl std::error::Error for ParseWireError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_lowercase_and_informative() {
+        let e = ParseWireError::Truncated { needed: 40, have: 3 };
+        assert_eq!(e.to_string(), "truncated header: need 40 bytes, have 3");
+        assert_eq!(
+            ParseWireError::BadVersion { found: 4 }.to_string(),
+            "unexpected protocol version 4"
+        );
+        assert!(!ParseWireError::BadChecksum.to_string().is_empty());
+    }
+}

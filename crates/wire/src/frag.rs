@@ -1,0 +1,130 @@
+//! The IPv6 fragment extension header (RFC 2460 §4.5).
+//!
+//! §4.1 of the paper: "the IPv6 standard supports only end-to-end
+//! fragmentation which is better suited to hardware based protocol
+//! implementations" — only the source fragments and only the final
+//! destination reassembles, so the QPIP firmware can carry TCP segments
+//! larger than the path MTU (the message-per-segment mapping at small
+//! MTUs) without any router involvement.
+
+use crate::error::ParseWireError;
+
+/// Protocol number of the fragment extension header.
+pub const FRAGMENT_NEXT_HEADER: u8 = 44;
+/// Encoded size of the fragment header.
+pub const FRAGMENT_HEADER_LEN: usize = 8;
+
+/// A fragment extension header.
+///
+/// # Examples
+///
+/// ```
+/// use qpip_wire::frag::FragmentHeader;
+///
+/// let h = FragmentHeader { next_header: 6, offset: 1448, more: true, id: 7 };
+/// let mut buf = Vec::new();
+/// h.encode(&mut buf);
+/// let (back, used) = FragmentHeader::parse(&buf)?;
+/// assert_eq!(back, h);
+/// assert_eq!(used, 8);
+/// # Ok::<(), qpip_wire::error::ParseWireError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FragmentHeader {
+    /// Protocol of the fragmented payload (6 for TCP).
+    pub next_header: u8,
+    /// Byte offset of this fragment within the original payload; must be
+    /// a multiple of 8 except implicitly via encoding (13-bit units of
+    /// 8 bytes on the wire).
+    pub offset: u32,
+    /// More fragments follow.
+    pub more: bool,
+    /// Identifies fragments of one original packet.
+    pub id: u32,
+}
+
+impl FragmentHeader {
+    /// Appends the 8-byte wire encoding to `buf`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `offset` is not a multiple of 8 or exceeds the 13-bit
+    /// field (× 8) range.
+    pub fn encode(&self, buf: &mut Vec<u8>) {
+        assert_eq!(self.offset % 8, 0, "fragment offsets are in 8-byte units");
+        let units = self.offset / 8;
+        assert!(units < (1 << 13), "fragment offset out of range");
+        buf.push(self.next_header);
+        buf.push(0);
+        let word = ((units as u16) << 3) | u16::from(self.more);
+        buf.extend_from_slice(&word.to_be_bytes());
+        buf.extend_from_slice(&self.id.to_be_bytes());
+    }
+
+    /// Parses from the front of `data`.
+    ///
+    /// # Errors
+    ///
+    /// [`ParseWireError::Truncated`] when fewer than 8 bytes remain.
+    pub fn parse(data: &[u8]) -> Result<(FragmentHeader, usize), ParseWireError> {
+        if data.len() < FRAGMENT_HEADER_LEN {
+            return Err(ParseWireError::Truncated {
+                needed: FRAGMENT_HEADER_LEN,
+                have: data.len(),
+            });
+        }
+        let word = u16::from_be_bytes([data[2], data[3]]);
+        Ok((
+            FragmentHeader {
+                next_header: data[0],
+                offset: u32::from(word >> 3) * 8,
+                more: word & 1 != 0,
+                id: u32::from_be_bytes([data[4], data[5], data[6], data[7]]),
+            },
+            FRAGMENT_HEADER_LEN,
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_all_fields() {
+        for (offset, more) in [(0u32, true), (1448, true), (65528, false)] {
+            let h = FragmentHeader { next_header: 6, offset, more, id: 0xdead_beef };
+            let mut buf = Vec::new();
+            h.encode(&mut buf);
+            assert_eq!(buf.len(), FRAGMENT_HEADER_LEN);
+            let (back, n) = FragmentHeader::parse(&buf).unwrap();
+            assert_eq!(back, h);
+            assert_eq!(n, 8);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "8-byte units")]
+    fn rejects_unaligned_offset() {
+        let mut buf = Vec::new();
+        FragmentHeader { next_header: 6, offset: 3, more: false, id: 0 }.encode(&mut buf);
+    }
+
+    #[test]
+    fn rejects_truncated() {
+        assert!(matches!(
+            FragmentHeader::parse(&[0; 7]),
+            Err(ParseWireError::Truncated { needed: 8, have: 7 })
+        ));
+    }
+
+    #[test]
+    fn reserved_bits_ignored_on_parse() {
+        let h = FragmentHeader { next_header: 17, offset: 8, more: true, id: 1 };
+        let mut buf = Vec::new();
+        h.encode(&mut buf);
+        buf[1] = 0xff; // reserved byte
+        let (back, _) = FragmentHeader::parse(&buf).unwrap();
+        assert_eq!(back, h);
+    }
+}

@@ -1,0 +1,331 @@
+//! IPv6 header encoding and parsing (RFC 2460).
+//!
+//! The prototype uses IPv6 because "it reflects the next generation of
+//! network systems" and supports only end-to-end fragmentation, "better
+//! suited to hardware based protocol implementations" (§4.1). The
+//! fragment extension header itself lives in [`crate::frag`].
+
+use std::net::Ipv6Addr;
+
+use crate::error::ParseWireError;
+
+/// Fixed IPv6 header length in bytes.
+pub const IPV6_HEADER_LEN: usize = 40;
+
+/// Upper-layer protocol selector (the IPv6 `Next Header` field).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum NextHeader {
+    /// TCP (6).
+    Tcp,
+    /// UDP (17).
+    Udp,
+    /// Anything else, carried verbatim.
+    Other(u8),
+}
+
+impl NextHeader {
+    /// The on-wire protocol number.
+    pub fn code(self) -> u8 {
+        match self {
+            NextHeader::Tcp => 6,
+            NextHeader::Udp => 17,
+            NextHeader::Other(c) => c,
+        }
+    }
+}
+
+impl From<u8> for NextHeader {
+    fn from(c: u8) -> Self {
+        match c {
+            6 => NextHeader::Tcp,
+            17 => NextHeader::Udp,
+            other => NextHeader::Other(other),
+        }
+    }
+}
+
+/// A parsed or to-be-encoded IPv6 header.
+///
+/// # Examples
+///
+/// ```
+/// use std::net::Ipv6Addr;
+/// use qpip_wire::ipv6::{Ipv6Header, NextHeader};
+///
+/// let h = Ipv6Header::new(
+///     Ipv6Addr::new(0xfc00, 0, 0, 0, 0, 0, 0, 1),
+///     Ipv6Addr::new(0xfc00, 0, 0, 0, 0, 0, 0, 2),
+///     NextHeader::Tcp,
+///     4,
+/// );
+/// let mut buf = Vec::new();
+/// h.encode(&mut buf);
+/// buf.extend_from_slice(b"data"); // the 4-byte payload
+/// let (back, used) = Ipv6Header::parse(&buf)?;
+/// assert_eq!(back, h);
+/// assert_eq!(used, 40);
+/// # Ok::<(), qpip_wire::error::ParseWireError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Ipv6Header {
+    /// Traffic class (DSCP + ECN).
+    pub traffic_class: u8,
+    /// Flow label (20 bits used).
+    pub flow_label: u32,
+    /// Length of everything after this header, in bytes.
+    pub payload_len: u16,
+    /// Upper-layer protocol.
+    pub next_header: NextHeader,
+    /// Hop limit.
+    pub hop_limit: u8,
+    /// Source address.
+    pub src: Ipv6Addr,
+    /// Destination address.
+    pub dst: Ipv6Addr,
+}
+
+/// ECN codepoints in the low two bits of the traffic class (RFC 3168).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Ecn {
+    /// Not ECN-capable transport.
+    NotCapable,
+    /// ECN-capable transport, codepoint ECT(0).
+    Capable,
+    /// Congestion experienced — set by a RED/ECN queue in the fabric.
+    CongestionExperienced,
+}
+
+impl Ipv6Header {
+    /// Default hop limit used by the QPIP firmware.
+    pub const DEFAULT_HOP_LIMIT: u8 = 64;
+
+    /// The ECN codepoint carried in the traffic class.
+    pub fn ecn(&self) -> Ecn {
+        match self.traffic_class & 0b11 {
+            0b10 | 0b01 => Ecn::Capable,
+            0b11 => Ecn::CongestionExperienced,
+            _ => Ecn::NotCapable,
+        }
+    }
+
+    /// Sets the ECN codepoint.
+    pub fn set_ecn(&mut self, ecn: Ecn) {
+        let bits = match ecn {
+            Ecn::NotCapable => 0b00,
+            Ecn::Capable => 0b10,
+            Ecn::CongestionExperienced => 0b11,
+        };
+        self.traffic_class = (self.traffic_class & !0b11) | bits;
+    }
+
+    /// Reads the ECN codepoint of an encoded packet.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `packet` is shorter than the IPv6 header.
+    pub fn ecn_of_packet(packet: &[u8]) -> Ecn {
+        assert!(packet.len() >= IPV6_HEADER_LEN);
+        match (packet[1] >> 4) & 0b11 {
+            0b10 | 0b01 => Ecn::Capable,
+            0b11 => Ecn::CongestionExperienced,
+            _ => Ecn::NotCapable,
+        }
+    }
+
+    /// Rewrites the ECN codepoint of an encoded packet in place
+    /// (traffic class spans the version/TC/flow word; nothing else is
+    /// touched and the transport checksum does not cover it).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `packet` is shorter than the IPv6 header.
+    pub fn set_ecn_in_packet(packet: &mut [u8], ecn: Ecn) {
+        assert!(packet.len() >= IPV6_HEADER_LEN);
+        let bits: u8 = match ecn {
+            Ecn::NotCapable => 0b00,
+            Ecn::Capable => 0b10,
+            Ecn::CongestionExperienced => 0b11,
+        };
+        // traffic class = bits 4..12 of the first 16 bits; its low two
+        // bits are bits 10..12, i.e. bits 5..7 of the second byte
+        packet[1] = (packet[1] & !0b0011_0000) | (bits << 4);
+    }
+
+    /// Creates a header with default traffic class, flow label and hop
+    /// limit.
+    pub fn new(src: Ipv6Addr, dst: Ipv6Addr, next_header: NextHeader, payload_len: u16) -> Self {
+        Ipv6Header {
+            traffic_class: 0,
+            flow_label: 0,
+            payload_len,
+            next_header,
+            hop_limit: Self::DEFAULT_HOP_LIMIT,
+            src,
+            dst,
+        }
+    }
+
+    /// Appends the 40-byte wire encoding to `buf`.
+    pub fn encode(&self, buf: &mut Vec<u8>) {
+        let vtf: u32 = (6u32 << 28)
+            | (u32::from(self.traffic_class) << 20)
+            | (self.flow_label & 0x000f_ffff);
+        buf.extend_from_slice(&vtf.to_be_bytes());
+        buf.extend_from_slice(&self.payload_len.to_be_bytes());
+        buf.push(self.next_header.code());
+        buf.push(self.hop_limit);
+        buf.extend_from_slice(&self.src.octets());
+        buf.extend_from_slice(&self.dst.octets());
+    }
+
+    /// Parses a header from the front of `data`, returning it and the
+    /// number of bytes consumed (always 40).
+    ///
+    /// # Errors
+    ///
+    /// [`ParseWireError::Truncated`] if fewer than 40 bytes are present;
+    /// [`ParseWireError::BadVersion`] if the version nibble is not 6;
+    /// [`ParseWireError::BadLength`] if the payload length exceeds the
+    /// bytes actually present.
+    pub fn parse(data: &[u8]) -> Result<(Ipv6Header, usize), ParseWireError> {
+        if data.len() < IPV6_HEADER_LEN {
+            return Err(ParseWireError::Truncated {
+                needed: IPV6_HEADER_LEN,
+                have: data.len(),
+            });
+        }
+        let vtf = u32::from_be_bytes([data[0], data[1], data[2], data[3]]);
+        let version = (vtf >> 28) as u8;
+        if version != 6 {
+            return Err(ParseWireError::BadVersion { found: version });
+        }
+        let payload_len = u16::from_be_bytes([data[4], data[5]]);
+        if IPV6_HEADER_LEN + usize::from(payload_len) > data.len() {
+            return Err(ParseWireError::BadLength);
+        }
+        let mut src = [0u8; 16];
+        src.copy_from_slice(&data[8..24]);
+        let mut dst = [0u8; 16];
+        dst.copy_from_slice(&data[24..40]);
+        Ok((
+            Ipv6Header {
+                traffic_class: ((vtf >> 20) & 0xff) as u8,
+                flow_label: vtf & 0x000f_ffff,
+                payload_len,
+                next_header: NextHeader::from(data[6]),
+                hop_limit: data[7],
+                src: Ipv6Addr::from(src),
+                dst: Ipv6Addr::from(dst),
+            },
+            IPV6_HEADER_LEN,
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn addr(last: u16) -> Ipv6Addr {
+        Ipv6Addr::new(0xfc00, 0, 0, 0, 0, 0, 0, last)
+    }
+
+    #[test]
+    fn encode_parse_roundtrip() {
+        let h = Ipv6Header {
+            traffic_class: 0xa5,
+            flow_label: 0xbeef,
+            payload_len: 0,
+            next_header: NextHeader::Udp,
+            hop_limit: 3,
+            src: addr(1),
+            dst: addr(2),
+        };
+        let mut buf = Vec::new();
+        h.encode(&mut buf);
+        assert_eq!(buf.len(), IPV6_HEADER_LEN);
+        let (back, used) = Ipv6Header::parse(&buf).unwrap();
+        assert_eq!(back, h);
+        assert_eq!(used, IPV6_HEADER_LEN);
+    }
+
+    #[test]
+    fn version_nibble_is_six() {
+        let mut buf = Vec::new();
+        Ipv6Header::new(addr(1), addr(2), NextHeader::Tcp, 0).encode(&mut buf);
+        assert_eq!(buf[0] >> 4, 6);
+    }
+
+    #[test]
+    fn rejects_wrong_version() {
+        let mut buf = Vec::new();
+        Ipv6Header::new(addr(1), addr(2), NextHeader::Tcp, 0).encode(&mut buf);
+        buf[0] = 0x45; // IPv4-style first byte
+        assert_eq!(
+            Ipv6Header::parse(&buf),
+            Err(ParseWireError::BadVersion { found: 4 })
+        );
+    }
+
+    #[test]
+    fn rejects_truncated() {
+        let err = Ipv6Header::parse(&[0u8; 39]).unwrap_err();
+        assert_eq!(err, ParseWireError::Truncated { needed: 40, have: 39 });
+    }
+
+    #[test]
+    fn rejects_payload_len_beyond_buffer() {
+        let mut buf = Vec::new();
+        Ipv6Header::new(addr(1), addr(2), NextHeader::Tcp, 100).encode(&mut buf);
+        // buffer has header only, no 100-byte payload
+        assert_eq!(Ipv6Header::parse(&buf), Err(ParseWireError::BadLength));
+    }
+
+    #[test]
+    fn next_header_codes() {
+        assert_eq!(NextHeader::Tcp.code(), 6);
+        assert_eq!(NextHeader::Udp.code(), 17);
+        assert_eq!(NextHeader::from(41), NextHeader::Other(41));
+        assert_eq!(NextHeader::from(6), NextHeader::Tcp);
+    }
+
+    #[test]
+    fn ecn_codepoints_roundtrip() {
+        let mut h = Ipv6Header::new(addr(1), addr(2), NextHeader::Tcp, 0);
+        assert_eq!(h.ecn(), Ecn::NotCapable);
+        for e in [Ecn::Capable, Ecn::CongestionExperienced, Ecn::NotCapable] {
+            h.set_ecn(e);
+            assert_eq!(h.ecn(), e);
+            // survives the wire
+            let mut buf = Vec::new();
+            h.encode(&mut buf);
+            let (back, _) = Ipv6Header::parse(&buf).unwrap();
+            assert_eq!(back.ecn(), e);
+        }
+    }
+
+    #[test]
+    fn in_place_ecn_rewrite_matches_full_encode() {
+        let mut h = Ipv6Header::new(addr(1), addr(2), NextHeader::Tcp, 0);
+        h.set_ecn(Ecn::Capable);
+        let mut buf = Vec::new();
+        h.encode(&mut buf);
+        Ipv6Header::set_ecn_in_packet(&mut buf, Ecn::CongestionExperienced);
+        let (back, _) = Ipv6Header::parse(&buf).unwrap();
+        assert_eq!(back.ecn(), Ecn::CongestionExperienced);
+        assert_eq!(back.traffic_class & !0b11, 0, "other TC bits untouched");
+        assert_eq!(Ipv6Header::ecn_of_packet(&buf), Ecn::CongestionExperienced);
+    }
+
+    #[test]
+    fn flow_label_masked_to_20_bits() {
+        let h = Ipv6Header {
+            flow_label: 0xfff_ffff, // more than 20 bits
+            ..Ipv6Header::new(addr(1), addr(2), NextHeader::Tcp, 0)
+        };
+        let mut buf = Vec::new();
+        h.encode(&mut buf);
+        let (back, _) = Ipv6Header::parse(&buf).unwrap();
+        assert_eq!(back.flow_label, 0x000f_ffff);
+    }
+}

@@ -1,0 +1,293 @@
+//! Link-layer framing: Myrinet-style source routes and Ethernet II.
+//!
+//! The Myrinet SAN is "switched and uses source-based, oblivious
+//! cut-through routing" (§4.1): the sender prepends one route byte per
+//! switch hop; each switch consumes the leading byte to select its output
+//! port. The Gigabit Ethernet baseline uses ordinary Ethernet II frames
+//! forwarded by MAC learning (modeled as a static table).
+
+use core::fmt;
+
+use crate::error::ParseWireError;
+
+/// Maximum number of hops in a Myrinet source route.
+pub const MYRINET_MAX_HOPS: usize = 15;
+
+/// EtherType carried in our Ethernet frames (IPv6).
+pub const ETHERTYPE_IPV6: u16 = 0x86dd;
+
+/// A Myrinet-style source route: the ordered list of switch output
+/// ports a packet must take.
+///
+/// # Examples
+///
+/// ```
+/// use qpip_wire::link::SourceRoute;
+///
+/// let r = SourceRoute::new(&[3, 1])?;
+/// assert_eq!(r.hops(), &[3, 1]);
+/// let (first, rest) = r.split_first().unwrap();
+/// assert_eq!(first, 3);
+/// assert_eq!(rest.hops(), &[1]);
+/// # Ok::<(), qpip_wire::link::RouteTooLongError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Default)]
+pub struct SourceRoute {
+    hops: Vec<u8>,
+}
+
+/// Error returned when a route exceeds [`MYRINET_MAX_HOPS`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RouteTooLongError(pub usize);
+
+impl fmt::Display for RouteTooLongError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "source route of {} hops exceeds maximum {MYRINET_MAX_HOPS}", self.0)
+    }
+}
+
+impl std::error::Error for RouteTooLongError {}
+
+impl SourceRoute {
+    /// Creates a route from output-port hops.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RouteTooLongError`] if more than [`MYRINET_MAX_HOPS`]
+    /// hops are given.
+    pub fn new(hops: &[u8]) -> Result<Self, RouteTooLongError> {
+        if hops.len() > MYRINET_MAX_HOPS {
+            return Err(RouteTooLongError(hops.len()));
+        }
+        Ok(SourceRoute { hops: hops.to_vec() })
+    }
+
+    /// An empty route (destination directly attached).
+    pub fn direct() -> Self {
+        SourceRoute::default()
+    }
+
+    /// The remaining hops.
+    pub fn hops(&self) -> &[u8] {
+        &self.hops
+    }
+
+    /// Number of remaining hops.
+    pub fn len(&self) -> usize {
+        self.hops.len()
+    }
+
+    /// `true` when no switch hops remain.
+    pub fn is_empty(&self) -> bool {
+        self.hops.is_empty()
+    }
+
+    /// Splits off the first hop, as a Myrinet switch does when it
+    /// consumes the leading route byte.
+    pub fn split_first(&self) -> Option<(u8, SourceRoute)> {
+        self.hops
+            .split_first()
+            .map(|(&h, rest)| (h, SourceRoute { hops: rest.to_vec() }))
+    }
+}
+
+/// A Myrinet link-layer frame header: route + payload type.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MyrinetHeader {
+    /// Remaining source route.
+    pub route: SourceRoute,
+    /// Payload type (we carry [`ETHERTYPE_IPV6`]).
+    pub packet_type: u16,
+}
+
+impl MyrinetHeader {
+    /// Encoded length: 1 route-length byte + hops + 2 type bytes.
+    pub fn encoded_len(&self) -> usize {
+        1 + self.route.len() + 2
+    }
+
+    /// Appends the wire encoding to `buf`.
+    pub fn encode(&self, buf: &mut Vec<u8>) {
+        buf.push(self.route.len() as u8);
+        buf.extend_from_slice(self.route.hops());
+        buf.extend_from_slice(&self.packet_type.to_be_bytes());
+    }
+
+    /// Parses from the front of `data`, returning the header and bytes
+    /// consumed.
+    ///
+    /// # Errors
+    ///
+    /// [`ParseWireError::Truncated`] if the frame is shorter than its
+    /// declared route; [`ParseWireError::BadLength`] if the route length
+    /// byte exceeds [`MYRINET_MAX_HOPS`].
+    pub fn parse(data: &[u8]) -> Result<(MyrinetHeader, usize), ParseWireError> {
+        let (&n, rest) = data.split_first().ok_or(ParseWireError::Truncated {
+            needed: 3,
+            have: data.len(),
+        })?;
+        let n = usize::from(n);
+        if n > MYRINET_MAX_HOPS {
+            return Err(ParseWireError::BadLength);
+        }
+        if rest.len() < n + 2 {
+            return Err(ParseWireError::Truncated {
+                needed: 1 + n + 2,
+                have: data.len(),
+            });
+        }
+        let route = SourceRoute { hops: rest[..n].to_vec() };
+        let packet_type = u16::from_be_bytes([rest[n], rest[n + 1]]);
+        Ok((MyrinetHeader { route, packet_type }, 1 + n + 2))
+    }
+}
+
+/// A 48-bit Ethernet MAC address.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, PartialOrd, Ord)]
+pub struct MacAddr(pub [u8; 6]);
+
+impl MacAddr {
+    /// The broadcast address `ff:ff:ff:ff:ff:ff`.
+    pub const BROADCAST: MacAddr = MacAddr([0xff; 6]);
+
+    /// A deterministic locally administered address for simulated node
+    /// `n`.
+    pub fn for_node(n: u32) -> MacAddr {
+        let b = n.to_be_bytes();
+        MacAddr([0x02, 0x00, b[0], b[1], b[2], b[3]])
+    }
+}
+
+impl fmt::Display for MacAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let o = self.0;
+        write!(
+            f,
+            "{:02x}:{:02x}:{:02x}:{:02x}:{:02x}:{:02x}",
+            o[0], o[1], o[2], o[3], o[4], o[5]
+        )
+    }
+}
+
+/// An Ethernet II frame header.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EthernetHeader {
+    /// Destination MAC.
+    pub dst: MacAddr,
+    /// Source MAC.
+    pub src: MacAddr,
+    /// EtherType.
+    pub ethertype: u16,
+}
+
+/// Ethernet II header length in bytes.
+pub const ETHERNET_HEADER_LEN: usize = 14;
+
+impl EthernetHeader {
+    /// Appends the 14-byte wire encoding to `buf`.
+    pub fn encode(&self, buf: &mut Vec<u8>) {
+        buf.extend_from_slice(&self.dst.0);
+        buf.extend_from_slice(&self.src.0);
+        buf.extend_from_slice(&self.ethertype.to_be_bytes());
+    }
+
+    /// Parses from the front of `data`.
+    ///
+    /// # Errors
+    ///
+    /// [`ParseWireError::Truncated`] if fewer than 14 bytes are present.
+    pub fn parse(data: &[u8]) -> Result<(EthernetHeader, usize), ParseWireError> {
+        if data.len() < ETHERNET_HEADER_LEN {
+            return Err(ParseWireError::Truncated {
+                needed: ETHERNET_HEADER_LEN,
+                have: data.len(),
+            });
+        }
+        let mut dst = [0u8; 6];
+        dst.copy_from_slice(&data[0..6]);
+        let mut src = [0u8; 6];
+        src.copy_from_slice(&data[6..12]);
+        Ok((
+            EthernetHeader {
+                dst: MacAddr(dst),
+                src: MacAddr(src),
+                ethertype: u16::from_be_bytes([data[12], data[13]]),
+            },
+            ETHERNET_HEADER_LEN,
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn source_route_splits_like_a_switch() {
+        let r = SourceRoute::new(&[7, 2, 9]).unwrap();
+        let (h, rest) = r.split_first().unwrap();
+        assert_eq!(h, 7);
+        assert_eq!(rest.hops(), &[2, 9]);
+        assert!(SourceRoute::direct().split_first().is_none());
+    }
+
+    #[test]
+    fn source_route_rejects_long_routes() {
+        assert_eq!(
+            SourceRoute::new(&[0u8; 16]),
+            Err(RouteTooLongError(16))
+        );
+        assert!(SourceRoute::new(&[0u8; 15]).is_ok());
+    }
+
+    #[test]
+    fn myrinet_header_roundtrip() {
+        let h = MyrinetHeader {
+            route: SourceRoute::new(&[1, 2, 3]).unwrap(),
+            packet_type: ETHERTYPE_IPV6,
+        };
+        let mut buf = Vec::new();
+        h.encode(&mut buf);
+        assert_eq!(buf.len(), h.encoded_len());
+        let (back, used) = MyrinetHeader::parse(&buf).unwrap();
+        assert_eq!(back, h);
+        assert_eq!(used, 6);
+    }
+
+    #[test]
+    fn myrinet_rejects_truncated_route() {
+        // declares 3 hops but has only 1 byte after
+        assert!(matches!(
+            MyrinetHeader::parse(&[3, 1]),
+            Err(ParseWireError::Truncated { .. })
+        ));
+        assert!(matches!(MyrinetHeader::parse(&[]), Err(ParseWireError::Truncated { .. })));
+    }
+
+    #[test]
+    fn myrinet_rejects_illegal_route_length() {
+        assert_eq!(
+            MyrinetHeader::parse(&[16, 0, 0]),
+            Err(ParseWireError::BadLength)
+        );
+    }
+
+    #[test]
+    fn ethernet_roundtrip() {
+        let h = EthernetHeader {
+            dst: MacAddr::for_node(2),
+            src: MacAddr::for_node(1),
+            ethertype: ETHERTYPE_IPV6,
+        };
+        let mut buf = Vec::new();
+        h.encode(&mut buf);
+        assert_eq!(EthernetHeader::parse(&buf).unwrap(), (h, 14));
+    }
+
+    #[test]
+    fn mac_display_and_generation() {
+        assert_eq!(MacAddr([1, 2, 3, 4, 5, 0xff]).to_string(), "01:02:03:04:05:ff");
+        assert_ne!(MacAddr::for_node(1), MacAddr::for_node(2));
+        assert_eq!(MacAddr::BROADCAST.0, [0xff; 6]);
+    }
+}

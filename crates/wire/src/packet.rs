@@ -1,0 +1,104 @@
+//! The owned packet buffer passed between layers and across the fabric.
+
+use core::fmt;
+
+/// An owned, contiguous packet: link header + IPv6 header + transport
+/// header + payload, exactly as it would appear on the wire.
+///
+/// # Examples
+///
+/// ```
+/// use qpip_wire::packet::Packet;
+///
+/// let p = Packet::from_vec(vec![1, 2, 3]);
+/// assert_eq!(p.len(), 3);
+/// assert_eq!(p.as_slice(), &[1, 2, 3]);
+/// ```
+#[derive(Clone, PartialEq, Eq, Default)]
+pub struct Packet {
+    bytes: Vec<u8>,
+}
+
+impl Packet {
+    /// Creates an empty packet buffer.
+    pub fn new() -> Self {
+        Packet::default()
+    }
+
+    /// Wraps an existing byte vector.
+    pub fn from_vec(bytes: Vec<u8>) -> Self {
+        Packet { bytes }
+    }
+
+    /// Total length on the wire, in bytes.
+    pub fn len(&self) -> usize {
+        self.bytes.len()
+    }
+
+    /// `true` if the packet has no bytes.
+    pub fn is_empty(&self) -> bool {
+        self.bytes.is_empty()
+    }
+
+    /// The raw bytes.
+    pub fn as_slice(&self) -> &[u8] {
+        &self.bytes
+    }
+
+    /// Mutable access to the raw bytes (checksum patching).
+    pub fn as_mut_slice(&mut self) -> &mut [u8] {
+        &mut self.bytes
+    }
+
+    /// Extracts the underlying vector.
+    pub fn into_vec(self) -> Vec<u8> {
+        self.bytes
+    }
+}
+
+impl From<Vec<u8>> for Packet {
+    fn from(bytes: Vec<u8>) -> Self {
+        Packet::from_vec(bytes)
+    }
+}
+
+impl AsRef<[u8]> for Packet {
+    fn as_ref(&self) -> &[u8] {
+        &self.bytes
+    }
+}
+
+impl fmt::Debug for Packet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Packet({} bytes", self.bytes.len())?;
+        if !self.bytes.is_empty() {
+            write!(f, ", {:02x?}…", &self.bytes[..self.bytes.len().min(8)])?;
+        }
+        write!(f, ")")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_and_access() {
+        let mut p = Packet::from_vec(vec![9, 8, 7]);
+        assert_eq!(p.len(), 3);
+        assert!(!p.is_empty());
+        p.as_mut_slice()[0] = 1;
+        assert_eq!(p.as_slice(), &[1, 8, 7]);
+        assert_eq!(p.clone().into_vec(), vec![1, 8, 7]);
+        assert_eq!(p.as_ref(), &[1, 8, 7]);
+    }
+
+    #[test]
+    fn debug_is_bounded_and_nonempty() {
+        let p = Packet::from_vec((0..100).collect());
+        let s = format!("{p:?}");
+        assert!(s.starts_with("Packet(100 bytes"));
+        assert!(s.len() < 120);
+        assert_eq!(format!("{:?}", Packet::new()), "Packet(0 bytes)");
+    }
+}

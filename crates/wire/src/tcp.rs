@@ -1,0 +1,521 @@
+//! TCP segment header, options and sequence-number arithmetic.
+//!
+//! The QPIP firmware implements the TCP subset of §4.1: RTT estimation,
+//! window management, congestion and flow control, and the RFC 1323
+//! timestamp and window-scale options. This module is only the wire
+//! representation; the protocol engine lives in `qpip-netstack`.
+
+use core::fmt;
+use core::ops::{Add, AddAssign, Sub};
+
+use crate::error::ParseWireError;
+
+/// Minimum TCP header length (no options).
+pub const TCP_HEADER_MIN_LEN: usize = 20;
+/// Maximum TCP header length (15 × 4 bytes).
+pub const TCP_HEADER_MAX_LEN: usize = 60;
+
+/// A 32-bit TCP sequence number with RFC 793 modular comparison.
+///
+/// # Examples
+///
+/// ```
+/// use qpip_wire::tcp::SeqNum;
+///
+/// let a = SeqNum(u32::MAX - 1);
+/// let b = a + 10; // wraps
+/// assert!(a.lt(b));
+/// assert_eq!(b - a, 10);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct SeqNum(pub u32);
+
+impl SeqNum {
+    /// Modular `self < other` (RFC 793: the difference interpreted as a
+    /// signed 32-bit value is negative).
+    pub fn lt(self, other: SeqNum) -> bool {
+        (self.0.wrapping_sub(other.0) as i32) < 0
+    }
+
+    /// Modular `self <= other`.
+    pub fn le(self, other: SeqNum) -> bool {
+        self == other || self.lt(other)
+    }
+
+    /// Modular `self > other`.
+    pub fn gt(self, other: SeqNum) -> bool {
+        other.lt(self)
+    }
+
+    /// Modular `self >= other`.
+    pub fn ge(self, other: SeqNum) -> bool {
+        other.le(self)
+    }
+
+    /// The later of two sequence numbers under modular order.
+    pub fn max(self, other: SeqNum) -> SeqNum {
+        if self.ge(other) {
+            self
+        } else {
+            other
+        }
+    }
+}
+
+impl Add<u32> for SeqNum {
+    type Output = SeqNum;
+    fn add(self, rhs: u32) -> SeqNum {
+        SeqNum(self.0.wrapping_add(rhs))
+    }
+}
+
+impl AddAssign<u32> for SeqNum {
+    fn add_assign(&mut self, rhs: u32) {
+        self.0 = self.0.wrapping_add(rhs);
+    }
+}
+
+impl Sub<SeqNum> for SeqNum {
+    type Output = u32;
+    /// Modular distance `self - rhs`; meaningful when `rhs <= self`.
+    fn sub(self, rhs: SeqNum) -> u32 {
+        self.0.wrapping_sub(rhs.0)
+    }
+}
+
+impl fmt::Display for SeqNum {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+/// TCP header flag bits.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Hash)]
+pub struct TcpFlags {
+    /// FIN: sender is done sending.
+    pub fin: bool,
+    /// SYN: synchronize sequence numbers.
+    pub syn: bool,
+    /// RST: reset the connection.
+    pub rst: bool,
+    /// PSH: push buffered data to the application.
+    pub psh: bool,
+    /// ACK: acknowledgment field is valid.
+    pub ack: bool,
+    /// URG: urgent pointer is valid (unsupported by the QPIP subset but
+    /// representable on the wire).
+    pub urg: bool,
+    /// ECE: ECN-Echo (RFC 3168) — the receiver saw congestion
+    /// experienced, or (on SYN) the peer negotiates ECN.
+    pub ece: bool,
+    /// CWR: Congestion Window Reduced (RFC 3168) — the sender reacted
+    /// to an ECN-Echo.
+    pub cwr: bool,
+}
+
+impl TcpFlags {
+    /// A pure SYN.
+    pub const SYN: TcpFlags = TcpFlags { syn: true, ..TcpFlags::NONE };
+    /// SYN+ACK.
+    pub const SYN_ACK: TcpFlags = TcpFlags { syn: true, ack: true, ..TcpFlags::NONE };
+    /// A pure ACK.
+    pub const ACK: TcpFlags = TcpFlags { ack: true, ..TcpFlags::NONE };
+    /// No flags set.
+    pub const NONE: TcpFlags = TcpFlags {
+        fin: false,
+        syn: false,
+        rst: false,
+        psh: false,
+        ack: false,
+        urg: false,
+        ece: false,
+        cwr: false,
+    };
+
+    /// Packs the flags into the low byte of the offset/flags word.
+    pub fn to_byte(self) -> u8 {
+        u8::from(self.fin)
+            | u8::from(self.syn) << 1
+            | u8::from(self.rst) << 2
+            | u8::from(self.psh) << 3
+            | u8::from(self.ack) << 4
+            | u8::from(self.urg) << 5
+            | u8::from(self.ece) << 6
+            | u8::from(self.cwr) << 7
+    }
+
+    /// Unpacks flags from the wire byte.
+    pub fn from_byte(b: u8) -> TcpFlags {
+        TcpFlags {
+            fin: b & 0x01 != 0,
+            syn: b & 0x02 != 0,
+            rst: b & 0x04 != 0,
+            psh: b & 0x08 != 0,
+            ack: b & 0x10 != 0,
+            urg: b & 0x20 != 0,
+            ece: b & 0x40 != 0,
+            cwr: b & 0x80 != 0,
+        }
+    }
+}
+
+impl fmt::Display for TcpFlags {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut any = false;
+        for (set, c) in [
+            (self.syn, 'S'),
+            (self.ack, 'A'),
+            (self.fin, 'F'),
+            (self.rst, 'R'),
+            (self.psh, 'P'),
+            (self.urg, 'U'),
+            (self.ece, 'E'),
+            (self.cwr, 'C'),
+        ] {
+            if set {
+                write!(f, "{c}")?;
+                any = true;
+            }
+        }
+        if !any {
+            write!(f, "-")?;
+        }
+        Ok(())
+    }
+}
+
+/// TCP options carried by the QPIP subset.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct TcpOptions {
+    /// Maximum segment size (SYN only), kind 2.
+    pub mss: Option<u16>,
+    /// Window scale shift (SYN only), kind 3 — RFC 1323.
+    pub window_scale: Option<u8>,
+    /// Timestamps `(TSval, TSecr)`, kind 8 — RFC 1323.
+    pub timestamps: Option<(u32, u32)>,
+}
+
+impl TcpOptions {
+    /// Encoded length in bytes, padded to a multiple of 4.
+    pub fn encoded_len(&self) -> usize {
+        let mut n = 0;
+        if self.mss.is_some() {
+            n += 4;
+        }
+        if self.window_scale.is_some() {
+            n += 3;
+        }
+        if self.timestamps.is_some() {
+            n += 10;
+        }
+        (n + 3) & !3
+    }
+
+    fn encode(&self, buf: &mut Vec<u8>) {
+        let start = buf.len();
+        if let Some(mss) = self.mss {
+            buf.extend_from_slice(&[2, 4]);
+            buf.extend_from_slice(&mss.to_be_bytes());
+        }
+        if let Some(ws) = self.window_scale {
+            buf.extend_from_slice(&[3, 3, ws]);
+        }
+        if let Some((tsval, tsecr)) = self.timestamps {
+            buf.extend_from_slice(&[8, 10]);
+            buf.extend_from_slice(&tsval.to_be_bytes());
+            buf.extend_from_slice(&tsecr.to_be_bytes());
+        }
+        while !(buf.len() - start).is_multiple_of(4) {
+            buf.push(1); // NOP padding
+        }
+    }
+
+    fn parse(mut data: &[u8]) -> Result<TcpOptions, ParseWireError> {
+        let mut opts = TcpOptions::default();
+        while let Some((&kind, rest)) = data.split_first() {
+            match kind {
+                0 => break,          // end of options
+                1 => data = rest,    // NOP
+                _ => {
+                    let (&len, body) =
+                        rest.split_first().ok_or(ParseWireError::BadOption)?;
+                    let len = usize::from(len);
+                    if len < 2 || len - 2 > body.len() {
+                        return Err(ParseWireError::BadOption);
+                    }
+                    let (val, tail) = body.split_at(len - 2);
+                    match (kind, val) {
+                        (2, [a, b]) => opts.mss = Some(u16::from_be_bytes([*a, *b])),
+                        (3, [ws]) => opts.window_scale = Some(*ws),
+                        (8, v) if v.len() == 8 => {
+                            opts.timestamps = Some((
+                                u32::from_be_bytes([v[0], v[1], v[2], v[3]]),
+                                u32::from_be_bytes([v[4], v[5], v[6], v[7]]),
+                            ));
+                        }
+                        // unknown or wrong-sized option: skip per RFC 1122
+                        _ => {}
+                    }
+                    data = tail;
+                }
+            }
+        }
+        Ok(opts)
+    }
+}
+
+/// A TCP header (with options), independent of payload.
+///
+/// # Examples
+///
+/// ```
+/// use qpip_wire::tcp::{SeqNum, TcpFlags, TcpHeader, TcpOptions};
+///
+/// let h = TcpHeader {
+///     src_port: 4000,
+///     dst_port: 5000,
+///     seq: SeqNum(7),
+///     ack: SeqNum(0),
+///     flags: TcpFlags::SYN,
+///     window: 65_535,
+///     checksum: 0,
+///     urgent: 0,
+///     options: TcpOptions { mss: Some(16_384), ..TcpOptions::default() },
+/// };
+/// let mut buf = Vec::new();
+/// h.encode(&mut buf);
+/// let (back, used) = TcpHeader::parse(&buf)?;
+/// assert_eq!(back, h);
+/// assert_eq!(used, 24);
+/// # Ok::<(), qpip_wire::error::ParseWireError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TcpHeader {
+    /// Source port.
+    pub src_port: u16,
+    /// Destination port.
+    pub dst_port: u16,
+    /// Sequence number of the first payload byte (or the SYN/FIN).
+    pub seq: SeqNum,
+    /// Acknowledgment number (valid when `flags.ack`).
+    pub ack: SeqNum,
+    /// Control flags.
+    pub flags: TcpFlags,
+    /// Receive window (unscaled, as carried on the wire).
+    pub window: u16,
+    /// Internet checksum over pseudo-header + header + payload.
+    pub checksum: u16,
+    /// Urgent pointer (always 0 in the QPIP subset).
+    pub urgent: u16,
+    /// Options.
+    pub options: TcpOptions,
+}
+
+impl TcpHeader {
+    /// Total encoded header length including options and padding.
+    pub fn encoded_len(&self) -> usize {
+        TCP_HEADER_MIN_LEN + self.options.encoded_len()
+    }
+
+    /// Appends the wire encoding to `buf`.
+    ///
+    /// The `checksum` field is written as stored; compute it with
+    /// [`crate::checksum::transport_checksum`] over the encoded segment
+    /// (checksum field zeroed) and patch it afterwards, as the firmware
+    /// does.
+    pub fn encode(&self, buf: &mut Vec<u8>) {
+        let data_offset_words = (self.encoded_len() / 4) as u8;
+        buf.extend_from_slice(&self.src_port.to_be_bytes());
+        buf.extend_from_slice(&self.dst_port.to_be_bytes());
+        buf.extend_from_slice(&self.seq.0.to_be_bytes());
+        buf.extend_from_slice(&self.ack.0.to_be_bytes());
+        buf.push(data_offset_words << 4);
+        buf.push(self.flags.to_byte());
+        buf.extend_from_slice(&self.window.to_be_bytes());
+        buf.extend_from_slice(&self.checksum.to_be_bytes());
+        buf.extend_from_slice(&self.urgent.to_be_bytes());
+        self.options.encode(buf);
+    }
+
+    /// Parses a header from the front of `data`, returning it and the
+    /// header length consumed (payload follows).
+    ///
+    /// # Errors
+    ///
+    /// [`ParseWireError::Truncated`] if the fixed header is incomplete,
+    /// [`ParseWireError::BadLength`] if the data offset is illegal, and
+    /// [`ParseWireError::BadOption`] for malformed options.
+    pub fn parse(data: &[u8]) -> Result<(TcpHeader, usize), ParseWireError> {
+        if data.len() < TCP_HEADER_MIN_LEN {
+            return Err(ParseWireError::Truncated {
+                needed: TCP_HEADER_MIN_LEN,
+                have: data.len(),
+            });
+        }
+        let header_len = usize::from(data[12] >> 4) * 4;
+        if !(TCP_HEADER_MIN_LEN..=TCP_HEADER_MAX_LEN).contains(&header_len)
+            || header_len > data.len()
+        {
+            return Err(ParseWireError::BadLength);
+        }
+        let options = TcpOptions::parse(&data[TCP_HEADER_MIN_LEN..header_len])?;
+        Ok((
+            TcpHeader {
+                src_port: u16::from_be_bytes([data[0], data[1]]),
+                dst_port: u16::from_be_bytes([data[2], data[3]]),
+                seq: SeqNum(u32::from_be_bytes([data[4], data[5], data[6], data[7]])),
+                ack: SeqNum(u32::from_be_bytes([data[8], data[9], data[10], data[11]])),
+                flags: TcpFlags::from_byte(data[13]),
+                window: u16::from_be_bytes([data[14], data[15]]),
+                checksum: u16::from_be_bytes([data[16], data[17]]),
+                urgent: u16::from_be_bytes([data[18], data[19]]),
+                options,
+            },
+            header_len,
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn header() -> TcpHeader {
+        TcpHeader {
+            src_port: 1234,
+            dst_port: 80,
+            seq: SeqNum(0xdead_beef),
+            ack: SeqNum(0x0102_0304),
+            flags: TcpFlags { ack: true, psh: true, ..TcpFlags::NONE },
+            window: 32_768,
+            checksum: 0xabcd,
+            urgent: 0,
+            options: TcpOptions::default(),
+        }
+    }
+
+    #[test]
+    fn plain_header_roundtrip() {
+        let h = header();
+        let mut buf = Vec::new();
+        h.encode(&mut buf);
+        assert_eq!(buf.len(), 20);
+        let (back, used) = TcpHeader::parse(&buf).unwrap();
+        assert_eq!(back, h);
+        assert_eq!(used, 20);
+    }
+
+    #[test]
+    fn header_with_all_options_roundtrip() {
+        let h = TcpHeader {
+            options: TcpOptions {
+                mss: Some(16_384),
+                window_scale: Some(4),
+                timestamps: Some((0x1111_2222, 0x3333_4444)),
+            },
+            flags: TcpFlags::SYN,
+            ..header()
+        };
+        let mut buf = Vec::new();
+        h.encode(&mut buf);
+        // 20 + (4 + 3 + 10 -> 17 padded to 20)
+        assert_eq!(buf.len(), 40);
+        let (back, used) = TcpHeader::parse(&buf).unwrap();
+        assert_eq!(back, h);
+        assert_eq!(used, 40);
+    }
+
+    #[test]
+    fn timestamps_only_roundtrip() {
+        let h = TcpHeader {
+            options: TcpOptions {
+                timestamps: Some((5, 9)),
+                ..TcpOptions::default()
+            },
+            ..header()
+        };
+        let mut buf = Vec::new();
+        h.encode(&mut buf);
+        assert_eq!(buf.len(), 32); // 20 + 10 padded to 12
+        let (back, _) = TcpHeader::parse(&buf).unwrap();
+        assert_eq!(back.options.timestamps, Some((5, 9)));
+    }
+
+    #[test]
+    fn unknown_options_are_skipped() {
+        let h = header();
+        let mut buf = Vec::new();
+        h.encode(&mut buf);
+        buf[12] = 6 << 4; // extend header by 4 bytes
+        buf.extend_from_slice(&[254, 4, 0xaa, 0xbb]); // experimental option
+        let (back, used) = TcpHeader::parse(&buf).unwrap();
+        assert_eq!(used, 24);
+        assert_eq!(back.options, TcpOptions::default());
+    }
+
+    #[test]
+    fn rejects_bad_offset() {
+        let mut buf = Vec::new();
+        header().encode(&mut buf);
+        buf[12] = 4 << 4; // offset below minimum
+        assert_eq!(TcpHeader::parse(&buf), Err(ParseWireError::BadLength));
+        buf[12] = 10 << 4; // offset beyond buffer
+        assert_eq!(TcpHeader::parse(&buf), Err(ParseWireError::BadLength));
+    }
+
+    #[test]
+    fn rejects_malformed_option_length() {
+        let mut buf = Vec::new();
+        header().encode(&mut buf);
+        buf[12] = 6 << 4;
+        buf.extend_from_slice(&[2, 1, 0, 0]); // MSS with illegal len 1
+        assert_eq!(TcpHeader::parse(&buf), Err(ParseWireError::BadOption));
+    }
+
+    #[test]
+    fn rejects_truncated() {
+        assert!(matches!(
+            TcpHeader::parse(&[0u8; 19]),
+            Err(ParseWireError::Truncated { .. })
+        ));
+    }
+
+    #[test]
+    fn flags_roundtrip_all_combinations() {
+        for b in 0..=255u8 {
+            assert_eq!(TcpFlags::from_byte(b).to_byte(), b);
+        }
+    }
+
+    #[test]
+    fn ecn_flags_roundtrip() {
+        let f = TcpFlags { ece: true, cwr: true, ack: true, ..TcpFlags::NONE };
+        assert_eq!(TcpFlags::from_byte(f.to_byte()), f);
+        assert_eq!(f.to_string(), "AEC");
+    }
+
+    #[test]
+    fn flags_display() {
+        assert_eq!(TcpFlags::SYN_ACK.to_string(), "SA");
+        assert_eq!(TcpFlags::NONE.to_string(), "-");
+    }
+
+    #[test]
+    fn seqnum_wrapping_comparisons() {
+        let a = SeqNum(u32::MAX - 5);
+        let b = SeqNum(10); // wrapped past zero
+        assert!(a.lt(b));
+        assert!(b.gt(a));
+        assert!(a.le(a));
+        assert!(a.ge(a));
+        assert_eq!(b - a, 16);
+        assert_eq!(a.max(b), b);
+    }
+
+    #[test]
+    fn seqnum_add_assign_wraps() {
+        let mut s = SeqNum(u32::MAX);
+        s += 2;
+        assert_eq!(s, SeqNum(1));
+    }
+}

@@ -1,0 +1,138 @@
+//! UDP header encoding and parsing (RFC 768).
+//!
+//! Unreliable QP messages are "encapsulated directly in UDP datagrams
+//! for transmission over the network" (§4.1) — one message per datagram,
+//! no extra protocol layer.
+
+use crate::error::ParseWireError;
+
+/// UDP header length in bytes.
+pub const UDP_HEADER_LEN: usize = 8;
+
+/// A UDP header.
+///
+/// # Examples
+///
+/// ```
+/// use qpip_wire::udp::UdpHeader;
+///
+/// let h = UdpHeader { src_port: 9000, dst_port: 9001, length: 12, checksum: 0 };
+/// let mut buf = Vec::new();
+/// h.encode(&mut buf);
+/// buf.extend_from_slice(b"ping"); // the 4-byte payload
+/// let (back, used) = UdpHeader::parse(&buf)?;
+/// assert_eq!(back, h);
+/// assert_eq!(used, 8);
+/// # Ok::<(), qpip_wire::error::ParseWireError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct UdpHeader {
+    /// Source port.
+    pub src_port: u16,
+    /// Destination port.
+    pub dst_port: u16,
+    /// Length of header + payload in bytes (≥ 8).
+    pub length: u16,
+    /// Internet checksum (mandatory over IPv6).
+    pub checksum: u16,
+}
+
+impl UdpHeader {
+    /// Builds a header for a payload of `payload_len` bytes with a zero
+    /// checksum, ready for checksum patching.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the datagram would exceed 65 535 bytes.
+    pub fn for_payload(src_port: u16, dst_port: u16, payload_len: usize) -> Self {
+        let length = UDP_HEADER_LEN + payload_len;
+        assert!(length <= usize::from(u16::MAX), "UDP datagram too large");
+        UdpHeader {
+            src_port,
+            dst_port,
+            length: length as u16,
+            checksum: 0,
+        }
+    }
+
+    /// Appends the 8-byte wire encoding to `buf`.
+    pub fn encode(&self, buf: &mut Vec<u8>) {
+        buf.extend_from_slice(&self.src_port.to_be_bytes());
+        buf.extend_from_slice(&self.dst_port.to_be_bytes());
+        buf.extend_from_slice(&self.length.to_be_bytes());
+        buf.extend_from_slice(&self.checksum.to_be_bytes());
+    }
+
+    /// Parses a header from the front of `data`.
+    ///
+    /// # Errors
+    ///
+    /// [`ParseWireError::Truncated`] when fewer than 8 bytes are present;
+    /// [`ParseWireError::BadLength`] when the length field is below 8 or
+    /// beyond the buffer.
+    pub fn parse(data: &[u8]) -> Result<(UdpHeader, usize), ParseWireError> {
+        if data.len() < UDP_HEADER_LEN {
+            return Err(ParseWireError::Truncated {
+                needed: UDP_HEADER_LEN,
+                have: data.len(),
+            });
+        }
+        let length = u16::from_be_bytes([data[4], data[5]]);
+        if usize::from(length) < UDP_HEADER_LEN || usize::from(length) > data.len() {
+            return Err(ParseWireError::BadLength);
+        }
+        Ok((
+            UdpHeader {
+                src_port: u16::from_be_bytes([data[0], data[1]]),
+                dst_port: u16::from_be_bytes([data[2], data[3]]),
+                length,
+                checksum: u16::from_be_bytes([data[6], data[7]]),
+            },
+            UDP_HEADER_LEN,
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip() {
+        let h = UdpHeader { src_port: 1, dst_port: 0xffff, length: 8, checksum: 0x1234 };
+        let mut buf = Vec::new();
+        h.encode(&mut buf);
+        assert_eq!(UdpHeader::parse(&buf).unwrap(), (h, 8));
+    }
+
+    #[test]
+    fn for_payload_sets_length() {
+        let h = UdpHeader::for_payload(5, 6, 100);
+        assert_eq!(h.length, 108);
+        assert_eq!(h.checksum, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "too large")]
+    fn for_payload_rejects_oversize() {
+        UdpHeader::for_payload(5, 6, 65_535);
+    }
+
+    #[test]
+    fn rejects_short_buffer() {
+        assert!(matches!(
+            UdpHeader::parse(&[0; 7]),
+            Err(ParseWireError::Truncated { needed: 8, have: 7 })
+        ));
+    }
+
+    #[test]
+    fn rejects_bad_length_field() {
+        let mut buf = Vec::new();
+        UdpHeader { src_port: 0, dst_port: 0, length: 7, checksum: 0 }.encode(&mut buf);
+        assert_eq!(UdpHeader::parse(&buf), Err(ParseWireError::BadLength));
+        let mut buf = Vec::new();
+        UdpHeader { src_port: 0, dst_port: 0, length: 100, checksum: 0 }.encode(&mut buf);
+        assert_eq!(UdpHeader::parse(&buf), Err(ParseWireError::BadLength));
+    }
+}

@@ -1,0 +1,42 @@
+//! Network Block Device demo — the storage application of §4.2.3
+//! (Figures 5–7) at demo scale: a sequential write + sync and a
+//! sequential read over socket NBD and QPIP NBD.
+//!
+//! Run with: `cargo run --release --example nbd_storage`
+
+use qpip_nbd::socket_impl::{self, Transport};
+use qpip_nbd::{qpip_impl, NbdConfig, NbdResult};
+
+fn show(name: &str, r: &NbdResult) {
+    println!(
+        "{name:<18} write {:>6.1} MB/s ({:>6.1} MB/CPU·s)   read {:>6.1} MB/s ({:>6.1} MB/CPU·s)",
+        r.write.mbytes_per_sec,
+        r.write.mb_per_cpu_sec,
+        r.read.mbytes_per_sec,
+        r.read.mb_per_cpu_sec
+    );
+}
+
+fn main() {
+    let cfg = NbdConfig {
+        total_bytes: 16 * 1024 * 1024,
+        block: 64 * 1024,
+        queue_depth: 4,
+    };
+    println!(
+        "NBD benchmark: {} MB sequential write (+sync) then read, 64 KB blocks\n",
+        cfg.total_bytes / (1024 * 1024)
+    );
+    show("NBD over GigE", &socket_impl::run(Transport::GigE, cfg));
+    show("NBD over GM", &socket_impl::run(Transport::GmMyrinet, cfg));
+    let q = qpip_impl::run(cfg);
+    show("NBD over QPIP", &q);
+
+    println!("\nAs in Figure 7: moving the transport into the NIC leaves the");
+    println!("client CPU to the filesystem — throughput and MB-per-CPU-second");
+    println!("both improve substantially.");
+    println!(
+        "(QPIP client spent {:.0}% of the read phase on ext2/block-layer work,\n paper reports ≥26% for all three implementations)",
+        q.read.fs_fraction * 100.0
+    );
+}

@@ -1,0 +1,23 @@
+//! Umbrella crate for the QPIP reproduction workspace.
+//!
+//! Re-exports the workspace crates under one roof so that examples and
+//! integration tests can `use qpip_repro::...`. See the individual crates
+//! for the real functionality:
+//!
+//! * [`qpip`] — the Queue Pair IP verbs library (the paper's contribution)
+//! * [`qpip_sim`] — discrete-event simulation kernel
+//! * [`qpip_wire`] — IPv6/TCP/UDP wire formats
+//! * [`qpip_netstack`] — protocol engines (TCP/UDP/IPv6)
+//! * [`qpip_fabric`] — Myrinet/Ethernet fabric models
+//! * [`qpip_nic`] — programmable NIC model + QPIP firmware
+//! * [`qpip_host`] — host CPU/OS model + socket baseline
+//! * [`qpip_nbd`] — Network Block Device application
+
+pub use qpip;
+pub use qpip_fabric;
+pub use qpip_host;
+pub use qpip_nbd;
+pub use qpip_netstack;
+pub use qpip_nic;
+pub use qpip_sim;
+pub use qpip_wire;
