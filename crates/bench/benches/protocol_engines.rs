@@ -1,10 +1,11 @@
-//! Criterion micro-benchmarks of the protocol engines themselves —
-//! real (wall-clock) performance of this implementation's hot paths:
-//! header codecs, checksums, and full TCP segment processing.
+//! Micro-benchmarks of the protocol engines themselves — real
+//! (wall-clock) performance of this implementation's hot paths: header
+//! codecs, checksums, and full TCP segment processing. Uses the
+//! in-tree [`qpip_bench::microbench`] harness.
 
 use std::net::Ipv6Addr;
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use qpip_bench::microbench::bench;
 use qpip_netstack::codec::{build_udp_packet, decode_packet};
 use qpip_netstack::engine::Engine;
 use qpip_netstack::types::{Emit, Endpoint, NetConfig, SendToken};
@@ -16,19 +17,20 @@ fn addr(n: u16) -> Ipv6Addr {
     Ipv6Addr::new(0xfc00, 0, 0, 0, 0, 0, 0, n)
 }
 
-fn bench_checksum(c: &mut Criterion) {
-    let mut g = c.benchmark_group("internet_checksum");
-    for size in [64usize, 1460, 8928, 16 * 1024] {
-        let data = vec![0xa5u8; size];
-        g.throughput(Throughput::Bytes(size as u64));
-        g.bench_with_input(BenchmarkId::from_parameter(size), &data, |b, d| {
-            b.iter(|| checksum(std::hint::black_box(d)))
-        });
-    }
-    g.finish();
+fn print(m: qpip_bench::microbench::Measurement) {
+    println!("{:<40} {:>12.1} ns/op", m.name, m.ns_per_op);
 }
 
-fn bench_header_codec(c: &mut Criterion) {
+fn bench_checksum() {
+    for size in [64usize, 1460, 8928, 16 * 1024] {
+        let data = vec![0xa5u8; size];
+        print(bench(&format!("internet_checksum/{size}"), || {
+            checksum(std::hint::black_box(&data))
+        }));
+    }
+}
+
+fn bench_header_codec() {
     let hdr = TcpHeader {
         src_port: 4000,
         dst_port: 5000,
@@ -40,108 +42,93 @@ fn bench_header_codec(c: &mut Criterion) {
         urgent: 0,
         options: TcpOptions { timestamps: Some((1, 2)), ..TcpOptions::default() },
     };
-    c.bench_function("tcp_header_encode", |b| {
-        b.iter(|| {
-            let mut buf = Vec::with_capacity(32);
-            std::hint::black_box(&hdr).encode(&mut buf);
-            buf
-        })
-    });
+    print(bench("tcp_header_encode", || {
+        let mut buf = Vec::with_capacity(32);
+        std::hint::black_box(&hdr).encode(&mut buf);
+        buf
+    }));
     let mut buf = Vec::new();
     hdr.encode(&mut buf);
-    c.bench_function("tcp_header_parse", |b| {
-        b.iter(|| TcpHeader::parse(std::hint::black_box(&buf)).unwrap())
-    });
+    print(bench("tcp_header_parse", || TcpHeader::parse(std::hint::black_box(&buf)).unwrap()));
 }
 
-fn bench_packet_build(c: &mut Criterion) {
+fn bench_packet_build() {
     let src = Endpoint::new(addr(1), 9);
     let dst = Endpoint::new(addr(2), 10);
-    let mut g = c.benchmark_group("full_packet");
     for size in [64usize, 8928] {
         let payload = vec![7u8; size];
-        g.throughput(Throughput::Bytes(size as u64));
-        g.bench_with_input(BenchmarkId::new("udp_build", size), &payload, |b, p| {
-            b.iter(|| build_udp_packet(src, dst, std::hint::black_box(p)))
-        });
+        print(bench(&format!("full_packet/udp_build/{size}"), || {
+            build_udp_packet(src, dst, std::hint::black_box(&payload))
+        }));
         let pkt = build_udp_packet(src, dst, &payload);
-        g.bench_with_input(BenchmarkId::new("decode_verify", size), &pkt, |b, p| {
-            b.iter(|| decode_packet(std::hint::black_box(p)).unwrap())
-        });
+        print(bench(&format!("full_packet/decode_verify/{size}"), || {
+            decode_packet(std::hint::black_box(&pkt)).unwrap()
+        }));
     }
-    g.finish();
 }
 
 /// Full engine-to-engine segment exchange: the cost of one message
 /// through two complete stacks (build, checksum, parse, TCB updates).
-fn bench_engine_roundtrip(c: &mut Criterion) {
-    let mut g = c.benchmark_group("engine_message");
+fn bench_engine_roundtrip() {
     for size in [1usize, 1408, 8928] {
-        g.throughput(Throughput::Bytes(size as u64));
-        g.bench_with_input(BenchmarkId::from_parameter(size), &size, |b, &size| {
-            // fresh pair per batch to keep state bounded
-            b.iter_batched(
-                || {
-                    let mut a = Engine::new(NetConfig::qpip(16 * 1024), addr(1));
-                    let mut z = Engine::new(NetConfig::qpip(16 * 1024), addr(2));
-                    z.tcp_listen(80).unwrap();
-                    let now = SimTime::ZERO;
-                    let (conn, emits) = a.tcp_connect(now, 2000, Endpoint::new(addr(2), 80));
-                    let mut pkts: Vec<Vec<u8>> = emits
-                        .into_iter()
-                        .filter_map(|e| match e {
-                            Emit::Packet(p) => Some(p.bytes),
-                            _ => None,
-                        })
-                        .collect();
-                    // drive handshake
-                    for _ in 0..4 {
-                        let mut to_a = Vec::new();
-                        for p in pkts.drain(..) {
-                            for e in z.on_packet(now, &p) {
-                                if let Emit::Packet(p) = e {
-                                    to_a.push(p.bytes);
-                                }
-                            }
-                        }
-                        for p in to_a {
-                            for e in a.on_packet(now, &p) {
-                                if let Emit::Packet(p) = e {
-                                    pkts.push(p.bytes);
-                                }
-                            }
-                        }
-                    }
-                    (a, z, conn)
-                },
-                |(mut a, mut z, conn)| {
-                    let now = SimTime::from_micros(100);
-                    let emits = a
-                        .tcp_send(now, conn, vec![0x42; size], SendToken(1))
-                        .unwrap();
-                    for e in emits {
+        let make_pair = || {
+            let mut a = Engine::new(NetConfig::qpip(16 * 1024), addr(1));
+            let mut z = Engine::new(NetConfig::qpip(16 * 1024), addr(2));
+            z.tcp_listen(80).unwrap();
+            let now = SimTime::ZERO;
+            let (conn, emits) = a.tcp_connect(now, 2000, Endpoint::new(addr(2), 80));
+            let mut pkts: Vec<qpip_wire::Packet> = emits
+                .into_iter()
+                .filter_map(|e| match e {
+                    Emit::Packet(p) => Some(p.bytes),
+                    _ => None,
+                })
+                .collect();
+            // drive handshake
+            for _ in 0..4 {
+                let mut to_a = Vec::new();
+                for p in pkts.drain(..) {
+                    for e in z.on_packet(now, &p) {
                         if let Emit::Packet(p) = e {
-                            let replies = z.on_packet(now, &p.bytes);
-                            for r in replies {
-                                if let Emit::Packet(p) = r {
-                                    let _ = a.on_packet(now, &p.bytes);
-                                }
-                            }
+                            to_a.push(p.bytes);
                         }
                     }
-                },
-                criterion::BatchSize::SmallInput,
-            )
-        });
+                }
+                for p in to_a {
+                    for e in a.on_packet(now, &p) {
+                        if let Emit::Packet(p) = e {
+                            pkts.push(p.bytes);
+                        }
+                    }
+                }
+            }
+            (a, z, conn)
+        };
+        let mut token = 0u64;
+        // one long-lived pair: per-iteration state stays bounded because
+        // every message is fully delivered and acknowledged in-loop
+        let (mut a, mut z, conn) = make_pair();
+        print(bench(&format!("engine_message/{size}"), || {
+            let now = SimTime::from_micros(100);
+            token += 1;
+            let emits = a.tcp_send(now, conn, vec![0x42; size], SendToken(token)).unwrap();
+            for e in emits {
+                if let Emit::Packet(p) = e {
+                    let replies = z.on_packet(now, &p.bytes);
+                    for r in replies {
+                        if let Emit::Packet(p) = r {
+                            let _ = a.on_packet(now, &p.bytes);
+                        }
+                    }
+                }
+            }
+        }));
     }
-    g.finish();
 }
 
-criterion_group!(
-    benches,
-    bench_checksum,
-    bench_header_codec,
-    bench_packet_build,
-    bench_engine_roundtrip
-);
-criterion_main!(benches);
+fn main() {
+    bench_checksum();
+    bench_header_codec();
+    bench_packet_build();
+    bench_engine_roundtrip();
+}

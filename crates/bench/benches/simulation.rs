@@ -1,51 +1,50 @@
-//! Criterion benchmarks of the simulation infrastructure: event-queue
-//! throughput and the wall-clock cost of simulating full QPIP and
-//! socket-baseline transfers (how fast the reproduction itself runs).
+//! Benchmarks of the simulation infrastructure: event-queue throughput
+//! and the wall-clock cost of simulating full QPIP and socket-baseline
+//! transfers (how fast the reproduction itself runs). Uses the in-tree
+//! [`qpip_bench::microbench`] harness.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use qpip::NicConfig;
+use qpip_bench::microbench::bench;
 use qpip_bench::workloads::pingpong::{qpip_tcp_rtt, socket_tcp_rtt, Baseline};
 use qpip_bench::workloads::ttcp::qpip_ttcp;
 use qpip_sim::kernel::Simulator;
 use qpip_sim::time::SimDuration;
 
-fn bench_event_queue(c: &mut Criterion) {
-    let mut g = c.benchmark_group("des_kernel");
+fn print(m: qpip_bench::microbench::Measurement) {
+    println!("{:<40} {:>12.1} ns/op", m.name, m.ns_per_op);
+}
+
+fn bench_event_queue() {
     for n in [1_000u64, 100_000] {
-        g.throughput(Throughput::Elements(n));
-        g.bench_with_input(BenchmarkId::new("schedule_drain", n), &n, |b, &n| {
-            b.iter(|| {
-                let mut sim: Simulator<u64> = Simulator::new();
-                for i in 0..n {
-                    // pseudo-random but deterministic interleaving
-                    let t = (i * 2_654_435_761) % 1_000_000;
-                    sim.schedule_after(SimDuration::from_nanos(t), i);
-                }
-                let mut acc = 0u64;
-                while let Some((_, e)) = sim.next() {
-                    acc = acc.wrapping_add(e);
-                }
-                acc
-            })
-        });
+        print(bench(&format!("des_kernel/schedule_drain/{n}"), || {
+            let mut sim: Simulator<u64> = Simulator::new();
+            for i in 0..n {
+                // pseudo-random but deterministic interleaving
+                let t = (i * 2_654_435_761) % 1_000_000;
+                sim.schedule_after(SimDuration::from_nanos(t), i);
+            }
+            let mut acc = 0u64;
+            while let Some((_, e)) = sim.next() {
+                acc = acc.wrapping_add(e);
+            }
+            acc
+        }));
     }
-    g.finish();
 }
 
-fn bench_full_system(c: &mut Criterion) {
-    let mut g = c.benchmark_group("full_system_sim");
-    g.sample_size(10);
-    g.bench_function("qpip_tcp_pingpong_20rounds", |b| {
-        b.iter(|| qpip_tcp_rtt(NicConfig::paper_default(), 1, 20))
-    });
-    g.bench_function("gige_tcp_pingpong_20rounds", |b| {
-        b.iter(|| socket_tcp_rtt(Baseline::GigE, 1, 20))
-    });
-    g.bench_function("qpip_ttcp_1mb", |b| {
-        b.iter(|| qpip_ttcp(NicConfig::paper_default(), 1024 * 1024, 16 * 1024))
-    });
-    g.finish();
+fn bench_full_system() {
+    print(bench("full_system_sim/qpip_tcp_pingpong_20rounds", || {
+        qpip_tcp_rtt(NicConfig::paper_default(), 1, 20)
+    }));
+    print(bench("full_system_sim/gige_tcp_pingpong_20rounds", || {
+        socket_tcp_rtt(Baseline::GigE, 1, 20)
+    }));
+    print(bench("full_system_sim/qpip_ttcp_1mb", || {
+        qpip_ttcp(NicConfig::paper_default(), 1024 * 1024, 16 * 1024)
+    }));
 }
 
-criterion_group!(benches, bench_event_queue, bench_full_system);
-criterion_main!(benches);
+fn main() {
+    bench_event_queue();
+    bench_full_system();
+}

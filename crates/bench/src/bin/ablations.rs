@@ -29,12 +29,7 @@ fn main() {
         let thr = qpip_ttcp(cfg.clone(), total, chunk);
         let udp = qpip_udp_rtt(cfg.clone(), 1, 12);
         let tcp = qpip_tcp_rtt(cfg, 1, 12);
-        t.row(&[
-            name.into(),
-            f1(thr.mbytes_per_sec),
-            f1(udp.mean_us),
-            f1(tcp.mean_us),
-        ]);
+        t.row(&[name.into(), f1(thr.mbytes_per_sec), f1(udp.mean_us), f1(tcp.mean_us)]);
     }
     t.print();
     println!();
@@ -78,14 +73,10 @@ fn main() {
     let sweep: Vec<f64> = [1500usize, 3000, 4500, 9000, 16 * 1024]
         .into_iter()
         .map(|mtu| {
-            qpip_ttcp(NicConfig { mtu, ..NicConfig::paper_default() }, total, chunk)
-                .mbytes_per_sec
+            qpip_ttcp(NicConfig { mtu, ..NicConfig::paper_default() }, total, chunk).mbytes_per_sec
         })
         .collect();
-    check(
-        "throughput grows monotonically with MTU",
-        sweep.windows(2).all(|w| w[1] >= w[0] * 0.98),
-    );
+    check("throughput grows monotonically with MTU", sweep.windows(2).all(|w| w[1] >= w[0] * 0.98));
     let hw = qpip_tcp_rtt(NicConfig { hw_multiply: true, ..NicConfig::paper_default() }, 1, 12);
     let sw = qpip_tcp_rtt(NicConfig::paper_default(), 1, 12);
     check(

@@ -26,14 +26,22 @@ fn main() {
     let qpip_udp_fw = qpip_udp_rtt(NicConfig::firmware_checksum(), 1, rounds);
     let qpip_tcp_fw = qpip_tcp_rtt(NicConfig::firmware_checksum(), 1, rounds);
 
-    let mut t = Table::new(
-        "Application RTT (µs)",
-        &["implementation", "UDP", "TCP", "paper (TCP ref)"],
-    );
+    let mut t =
+        Table::new("Application RTT (µs)", &["implementation", "UDP", "TCP", "paper (TCP ref)"]);
     t.row(&["IP/GigE".into(), f1(gige_udp.mean_us), f1(gige_tcp.mean_us), "(bars only)".into()]);
     t.row(&["IP/Myrinet".into(), f1(gm_udp.mean_us), f1(gm_tcp.mean_us), "(bars only)".into()]);
-    t.row(&["QPIP (hw csum, as figures)".into(), f1(qpip_udp.mean_us), f1(qpip_tcp.mean_us), "≤ baselines".into()]);
-    t.row(&["QPIP (fw csum)".into(), f1(qpip_udp_fw.mean_us), f1(qpip_tcp_fw.mean_us), "73 / 113".into()]);
+    t.row(&[
+        "QPIP (hw csum, as figures)".into(),
+        f1(qpip_udp.mean_us),
+        f1(qpip_tcp.mean_us),
+        "≤ baselines".into(),
+    ]);
+    t.row(&[
+        "QPIP (fw csum)".into(),
+        f1(qpip_udp_fw.mean_us),
+        f1(qpip_tcp_fw.mean_us),
+        "73 / 113".into(),
+    ]);
     t.print();
 
     println!("\nShape checks (paper §4.2.1):");
@@ -44,7 +52,8 @@ fn main() {
         "QPIP (hw csum) TCP RTT is comparable to or better than host baselines",
         qpip_tcp.mean_us <= gige_tcp.mean_us.max(gm_tcp.mean_us) * 1.1,
     );
-    check("UDP is faster than TCP on every implementation",
+    check(
+        "UDP is faster than TCP on every implementation",
         gige_udp.mean_us < gige_tcp.mean_us
             && gm_udp.mean_us < gm_tcp.mean_us
             && qpip_udp.mean_us < qpip_tcp.mean_us,

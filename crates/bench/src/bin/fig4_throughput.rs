@@ -76,10 +76,7 @@ fn main() {
         "QPIP @1500 loses to GigE (paper: by 22%)",
         qpip_1500.mbytes_per_sec < gige.mbytes_per_sec,
     );
-    check(
-        "QPIP @9000 beats IP/Myrinet",
-        qpip_9000.mbytes_per_sec > gm.mbytes_per_sec,
-    );
+    check("QPIP @9000 beats IP/Myrinet", qpip_9000.mbytes_per_sec > gm.mbytes_per_sec);
     check(
         "firmware checksum limits QPIP to the mid-20s MB/s",
         (20.0..33.0).contains(&qpip_fw.mbytes_per_sec),

@@ -66,9 +66,18 @@ fn main() {
 
     let imp = |q: f64, b: f64| (q / b - 1.0) * 100.0;
     println!("\nQPIP throughput improvement over baselines (paper: +40%…+137%):");
-    println!("  write vs GigE:    {:+.0}%", imp(qpip.write.mbytes_per_sec, gige.write.mbytes_per_sec));
-    println!("  write vs Myrinet: {:+.0}%", imp(qpip.write.mbytes_per_sec, gm.write.mbytes_per_sec));
-    println!("  read  vs GigE:    {:+.0}%", imp(qpip.read.mbytes_per_sec, gige.read.mbytes_per_sec));
+    println!(
+        "  write vs GigE:    {:+.0}%",
+        imp(qpip.write.mbytes_per_sec, gige.write.mbytes_per_sec)
+    );
+    println!(
+        "  write vs Myrinet: {:+.0}%",
+        imp(qpip.write.mbytes_per_sec, gm.write.mbytes_per_sec)
+    );
+    println!(
+        "  read  vs GigE:    {:+.0}%",
+        imp(qpip.read.mbytes_per_sec, gige.read.mbytes_per_sec)
+    );
     println!("  read  vs Myrinet: {:+.0}%", imp(qpip.read.mbytes_per_sec, gm.read.mbytes_per_sec));
     println!("\nQPIP CPU-effectiveness improvement (paper: up to +133%):");
     println!(
@@ -88,16 +97,13 @@ fn main() {
             && qpip.read.mbytes_per_sec > gige.read.mbytes_per_sec
             && qpip.read.mbytes_per_sec > gm.read.mbytes_per_sec,
     );
-    check(
-        "throughput improvement lands in the paper's 40–137% envelope",
-        {
-            let worst = imp(qpip.read.mbytes_per_sec, gm.read.mbytes_per_sec)
-                .min(imp(qpip.write.mbytes_per_sec, gm.write.mbytes_per_sec));
-            let best = imp(qpip.read.mbytes_per_sec, gige.read.mbytes_per_sec)
-                .max(imp(qpip.write.mbytes_per_sec, gige.write.mbytes_per_sec));
-            worst > 15.0 && best < 250.0
-        },
-    );
+    check("throughput improvement lands in the paper's 40–137% envelope", {
+        let worst = imp(qpip.read.mbytes_per_sec, gm.read.mbytes_per_sec)
+            .min(imp(qpip.write.mbytes_per_sec, gm.write.mbytes_per_sec));
+        let best = imp(qpip.read.mbytes_per_sec, gige.read.mbytes_per_sec)
+            .max(imp(qpip.write.mbytes_per_sec, gige.write.mbytes_per_sec));
+        worst > 15.0 && best < 250.0
+    });
     check(
         "QPIP is more CPU-effective than both baselines",
         qpip.read.mb_per_cpu_sec > gige.read.mb_per_cpu_sec

@@ -11,10 +11,8 @@ fn main() {
     println!("Latency sweep: TCP request-response RTT vs message size\n");
     let rounds = 16;
     let sizes = [1usize, 64, 256, 1024, 4096, 8192];
-    let mut t = Table::new(
-        "TCP RTT (µs) by payload size",
-        &["size", "IP/GigE", "IP/Myrinet", "QPIP"],
-    );
+    let mut t =
+        Table::new("TCP RTT (µs) by payload size", &["size", "IP/GigE", "IP/Myrinet", "QPIP"]);
     let mut series = Vec::new();
     for &s in &sizes {
         // GigE cannot carry >1428 in one segment; the stream splits it —
@@ -33,19 +31,16 @@ fn main() {
     };
     check(
         "RTT grows monotonically-ish with size on every implementation",
-        series.windows(2).all(|w| {
-            w[1].1 >= w[0].1 * 0.95 && w[1].2 >= w[0].2 * 0.95 && w[1].3 >= w[0].3 * 0.95
-        }),
+        series
+            .windows(2)
+            .all(|w| w[1].1 >= w[0].1 * 0.95 && w[1].2 >= w[0].2 * 0.95 && w[1].3 >= w[0].3 * 0.95),
     );
-    check(
-        "QPIP's size sensitivity is dominated by the PCI read path",
-        {
-            // going 1 B → 8 KB should add roughly 2 × (DMA read + wire)
-            let delta = series.last().unwrap().3 - series.first().unwrap().3;
-            // 8 KB at 80 MB/s ≈ 102 µs each way, plus wire ≈ 33 µs each way
-            (150.0..400.0).contains(&delta)
-        },
-    );
+    check("QPIP's size sensitivity is dominated by the PCI read path", {
+        // going 1 B → 8 KB should add roughly 2 × (DMA read + wire)
+        let delta = series.last().unwrap().3 - series.first().unwrap().3;
+        // 8 KB at 80 MB/s ≈ 102 µs each way, plus wire ≈ 33 µs each way
+        (150.0..400.0).contains(&delta)
+    });
     check(
         "QPIP beats both baselines at every size",
         series.iter().all(|&(_, ge, gm, qp)| qp <= ge.max(gm) * 1.05),

@@ -80,11 +80,11 @@ fn main() {
             for k in 0..2u64 {
                 r.w.post_recv(r.b, r.qb, RecvWr { wr_id: 500 + 2 * i + k, capacity: 16 * 1024 })
                     .unwrap();
-                r.w.post_send(r.a, r.qa, SendWr {
-                    wr_id: 2 * i + k,
-                    payload: vec![7; size],
-                    dst: None,
-                })
+                r.w.post_send(
+                    r.a,
+                    r.qa,
+                    SendWr { wr_id: 2 * i + k, payload: vec![7; size], dst: None },
+                )
                 .unwrap();
             }
             // two-sided: target takes completions, initiator completes on ack
@@ -101,12 +101,16 @@ fn main() {
             for i in 0..rounds + warmup {
                 let t0 = r.w.app_time(r.a);
                 for k in 0..2u64 {
-                    r.w.post_rdma_write(r.a, r.qa, RdmaWriteWr {
-                        wr_id: 2 * i as u64 + k,
-                        data: vec![7; size],
-                        rkey: r.region,
-                        remote_offset: 0,
-                    })
+                    r.w.post_rdma_write(
+                        r.a,
+                        r.qa,
+                        RdmaWriteWr {
+                            wr_id: 2 * i as u64 + k,
+                            data: vec![7; size],
+                            rkey: r.region,
+                            remote_offset: 0,
+                        },
+                    )
                     .unwrap();
                 }
                 r.w.wait_matching(r.a, r.cqa, |c| c.kind == CompletionKind::RdmaWrite);
@@ -121,12 +125,11 @@ fn main() {
         };
         let rd = latency_us(rounds, size, |r, i| {
             let t0 = r.w.app_time(r.a);
-            r.w.post_rdma_read(r.a, r.qa, RdmaReadWr {
-                wr_id: i,
-                len: size as u32,
-                rkey: r.region,
-                remote_offset: 0,
-            })
+            r.w.post_rdma_read(
+                r.a,
+                r.qa,
+                RdmaReadWr { wr_id: i, len: size as u32, rkey: r.region, remote_offset: 0 },
+            )
             .unwrap();
             r.w.wait_matching(r.a, r.cqa, |c| matches!(c.kind, CompletionKind::RdmaRead { .. }));
             r.w.app_time(r.a).duration_since(t0).as_micros_f64()
@@ -150,8 +153,12 @@ fn main() {
     };
     let rd_small = latency_us(8, 64, |r, i| {
         let t0 = r.w.app_time(r.a);
-        r.w.post_rdma_read(r.a, r.qa, RdmaReadWr { wr_id: i, len: 64, rkey: r.region, remote_offset: 0 })
-            .unwrap();
+        r.w.post_rdma_read(
+            r.a,
+            r.qa,
+            RdmaReadWr { wr_id: i, len: 64, rkey: r.region, remote_offset: 0 },
+        )
+        .unwrap();
         r.w.wait_matching(r.a, r.cqa, |c| matches!(c.kind, CompletionKind::RdmaRead { .. }));
         r.w.app_time(r.a).duration_since(t0).as_micros_f64()
     });

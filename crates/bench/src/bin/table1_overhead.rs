@@ -27,12 +27,12 @@ fn host_loopback_cycles() -> u64 {
     host.listen(ls, 9000).unwrap();
     let cs = host.tcp_socket();
     let mut now = SimTime::ZERO;
-    let mut frames: VecDeque<Vec<u8>> = VecDeque::new();
+    let mut frames: VecDeque<qpip_wire::Packet> = VecDeque::new();
     let mut server = None;
     let pump = |host: &mut HostStack,
-                    now: &mut SimTime,
-                    frames: &mut VecDeque<Vec<u8>>,
-                    server: &mut Option<qpip_host::SockId>| {
+                now: &mut SimTime,
+                frames: &mut VecDeque<qpip_wire::Packet>,
+                server: &mut Option<qpip_host::SockId>| {
         while let Some(f) = frames.pop_front() {
             *now += SimDuration::from_nanos(100);
             for o in host.on_frame(*now, &f) {

@@ -125,10 +125,7 @@ fn main() {
             check("data parse near the paper's 7 µs", (d - 7.0).abs() < 1.5);
         }
         (Some(d), Some(ack), true) => {
-            check(
-                "hardware multiply collapses the ACK-parse penalty",
-                (ack - d).abs() < 2.0,
-            );
+            check("hardware multiply collapses the ACK-parse penalty", (ack - d).abs() < 2.0);
         }
         _ => check("both parse cells populated", false),
     }

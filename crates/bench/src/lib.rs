@@ -17,5 +17,6 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod microbench;
 pub mod report;
 pub mod workloads;

@@ -65,6 +65,43 @@ impl Table {
     }
 }
 
+/// Renders the datapath perf-trajectory report as JSON.
+///
+/// Hand-rolled serialization (no serde in the workspace): the schema is
+/// a flat list of `{name, baseline_ns, current_ns, speedup}` objects
+/// plus free-form scalar metrics, which is all a trend dashboard needs.
+///
+/// ```json
+/// {
+///   "benches": [
+///     {"name": "checksum/9000", "baseline_ns": 1.0, "current_ns": 0.2, "speedup": 5.0}
+///   ],
+///   "metrics": {"des_events_per_sec": 1.0e7}
+/// }
+/// ```
+pub fn datapath_json(benches: &[crate::microbench::Comparison], metrics: &[(&str, f64)]) -> String {
+    let mut out = String::from("{\n  \"benches\": [\n");
+    for (i, c) in benches.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"name\": \"{}\", \"baseline_ns\": {:.2}, \"current_ns\": {:.2}, \"speedup\": {:.3}}}{}\n",
+            c.name,
+            c.baseline_ns,
+            c.current_ns,
+            c.speedup(),
+            if i + 1 < benches.len() { "," } else { "" },
+        ));
+    }
+    out.push_str("  ],\n  \"metrics\": {\n");
+    for (i, (k, v)) in metrics.iter().enumerate() {
+        out.push_str(&format!(
+            "    \"{k}\": {v:.2}{}\n",
+            if i + 1 < metrics.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("  }\n}\n");
+    out
+}
+
 /// Formats a float with one decimal.
 pub fn f1(v: f64) -> String {
     format!("{v:.1}")

@@ -45,11 +45,9 @@ pub fn qpip_tcp_rtt(nic: NicConfig, payload: usize, rounds: usize) -> RttResult 
         w.post_recv(a, qa, RecvWr { wr_id: 900 + round as u64, capacity: 16 * 1024 }).unwrap();
         w.post_recv(b, qb, RecvWr { wr_id: 900 + round as u64, capacity: 16 * 1024 }).unwrap();
         let t0 = w.app_time(a);
-        w.post_send(a, qa, SendWr { wr_id: 1, payload: vec![0x5a; payload], dst: None })
-            .unwrap();
+        w.post_send(a, qa, SendWr { wr_id: 1, payload: vec![0x5a; payload], dst: None }).unwrap();
         w.wait_matching(b, cqb, |c| matches!(c.kind, CompletionKind::Recv { .. }));
-        w.post_send(b, qb, SendWr { wr_id: 2, payload: vec![0xa5; payload], dst: None })
-            .unwrap();
+        w.post_send(b, qb, SendWr { wr_id: 2, payload: vec![0xa5; payload], dst: None }).unwrap();
         w.wait_matching(a, cqa, |c| matches!(c.kind, CompletionKind::Recv { .. }));
         if round >= warmup {
             samples.record(w.app_time(a).duration_since(t0).as_micros_f64());
@@ -177,12 +175,7 @@ mod tests {
     fn udp_rtt_is_below_tcp_rtt() {
         let udp = qpip_udp_rtt(NicConfig::paper_default(), 1, 8);
         let tcp = qpip_tcp_rtt(NicConfig::paper_default(), 1, 8);
-        assert!(
-            udp.mean_us < tcp.mean_us,
-            "udp {} vs tcp {}",
-            udp.mean_us,
-            tcp.mean_us
-        );
+        assert!(udp.mean_us < tcp.mean_us, "udp {} vs tcp {}", udp.mean_us, tcp.mean_us);
     }
 
     #[test]

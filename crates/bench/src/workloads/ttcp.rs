@@ -33,9 +33,8 @@ pub fn qpip_ttcp(nic: NicConfig, total_bytes: u64, message: usize) -> TtcpResult
     // one message per segment: clamp the write size to what one segment
     // carries (IPv6 40 + TCP 32 with timestamps); with jumbo segments
     // the wire MTU no longer bounds the message (IPv6 fragmentation)
-    let message = message.min(
-        qpip_netstack::types::NetConfig::qpip(nic.segment_mtu()).max_tcp_payload(),
-    );
+    let message =
+        message.min(qpip_netstack::types::NetConfig::qpip(nic.segment_mtu()).max_tcp_payload());
     let mut w = QpipWorld::new(qpip_fabric::FabricConfig {
         mtu: nic.mtu,
         ..qpip_fabric::FabricConfig::myrinet()
@@ -80,8 +79,7 @@ pub fn qpip_ttcp(nic: NicConfig, total_bytes: u64, message: usize) -> TtcpResult
             recv_done += 1;
             t_end = w.app_time(rx);
             // recycle the buffer
-            w.post_recv(rx, qr, RecvWr { wr_id: ring + recv_done, capacity: message })
-                .unwrap();
+            w.post_recv(rx, qr, RecvWr { wr_id: ring + recv_done, capacity: message }).unwrap();
         }
         // harvest sender completions without spinning
         while let Some(c) = w.try_wait(tx, cqt) {
@@ -201,11 +199,7 @@ mod tests {
     #[test]
     fn qpip_small_mtu_is_nic_processor_limited() {
         let big = qpip_ttcp(NicConfig::paper_default(), MB, params::TTCP_CHUNK_BYTES);
-        let small = qpip_ttcp(
-            NicConfig { mtu: 1500, ..NicConfig::paper_default() },
-            MB,
-            1408,
-        );
+        let small = qpip_ttcp(NicConfig { mtu: 1500, ..NicConfig::paper_default() }, MB, 1408);
         assert!(small.mbytes_per_sec < big.mbytes_per_sec, "{small:?} vs {big:?}");
     }
 

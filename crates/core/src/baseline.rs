@@ -6,7 +6,6 @@
 //! network with the same event loop discipline, so both sides of every
 //! figure are measured the same way.
 
-
 use qpip_fabric::{Fabric, FabricConfig, TransmitOutcome};
 use qpip_host::cpu::CpuLedger;
 use qpip_host::stack::{HostOutput, HostStack, SendOutcome, SockError, SockId, StackConfig};
@@ -18,7 +17,7 @@ use crate::world::NodeIdx;
 
 #[derive(Debug)]
 enum WorldEvent {
-    Frame { node: usize, bytes: Vec<u8> },
+    Frame { node: usize, bytes: qpip_wire::Packet },
     Timer { node: usize },
 }
 
@@ -49,11 +48,7 @@ impl core::fmt::Debug for SocketWorld {
 impl SocketWorld {
     /// Creates a world over the given fabric.
     pub fn new(fabric: FabricConfig) -> Self {
-        SocketWorld {
-            sim: Simulator::new(),
-            fabric: Fabric::new(fabric),
-            nodes: Vec::new(),
-        }
+        SocketWorld { sim: Simulator::new(), fabric: Fabric::new(fabric), nodes: Vec::new() }
     }
 
     /// The IP-over-Gigabit-Ethernet testbed (§4.2.1).
@@ -104,10 +99,7 @@ impl SocketWorld {
     /// Charges application cycles on a node.
     pub fn charge_app(&mut self, node: NodeIdx, cycles: u64) {
         let n = &mut self.nodes[node.0];
-        n.app_time = n
-            .stack
-            .cpu_mut()
-            .charge(n.app_time, qpip_host::WorkClass::App, cycles);
+        n.app_time = n.stack.cpu_mut().charge(n.app_time, qpip_host::WorkClass::App, cycles);
     }
 
     /// Stack access for instrumentation.
@@ -166,8 +158,7 @@ impl SocketWorld {
         let outs = self.nodes[node.0].stack.connect(t, sock, local_port, remote)?;
         self.absorb(node.0, outs);
         self.block_until(node, |evs| {
-            evs.iter()
-                .any(|e| matches!(e, HostOutput::Connected { sock: s, .. } if *s == sock))
+            evs.iter().any(|e| matches!(e, HostOutput::Connected { sock: s, .. } if *s == sock))
         });
         Ok(())
     }
@@ -188,9 +179,7 @@ impl SocketWorld {
             .iter()
             .position(|e| matches!(e, HostOutput::Accepted { listener: l, .. } if *l == listener))
             .expect("just observed");
-        let HostOutput::Accepted { sock, at, .. } = evs.remove(pos) else {
-            unreachable!()
-        };
+        let HostOutput::Accepted { sock, at, .. } = evs.remove(pos) else { unreachable!() };
         let n = &mut self.nodes[node.0];
         n.app_time = n.app_time.max(at);
         sock
@@ -258,10 +247,8 @@ impl SocketWorld {
                     .retain(|e| !matches!(e, HostOutput::DataReady { sock: s, .. } if *s == sock));
             }
             let t = self.nodes[node.0].app_time.max(self.sim.now());
-            let (data, done) = self.nodes[node.0]
-                .stack
-                .recv(t, sock, len - got.len())
-                .expect("known socket");
+            let (data, done) =
+                self.nodes[node.0].stack.recv(t, sock, len - got.len()).expect("known socket");
             got.extend(data);
             let n = &mut self.nodes[node.0];
             n.app_time = n.app_time.max(done);
@@ -307,10 +294,7 @@ impl SocketWorld {
             return Vec::new();
         }
         let t = self.nodes[node.0].app_time.max(self.sim.now());
-        let (data, done) = self.nodes[node.0]
-            .stack
-            .recv(t, sock, max)
-            .expect("known socket");
+        let (data, done) = self.nodes[node.0].stack.recv(t, sock, max).expect("known socket");
         let n = &mut self.nodes[node.0];
         n.app_time = n.app_time.max(done);
         data
@@ -424,8 +408,7 @@ impl SocketWorld {
                                 );
                             }
                             let arrive = arrive.max(self.sim.now());
-                            self.sim
-                                .schedule_at(arrive, WorldEvent::Frame { node: dest, bytes });
+                            self.sim.schedule_at(arrive, WorldEvent::Frame { node: dest, bytes });
                         }
                         TransmitOutcome::Dropped(_) => {}
                     }

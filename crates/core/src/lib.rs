@@ -63,9 +63,9 @@ pub mod baseline;
 pub mod mixed;
 pub mod world;
 
+pub use mixed::MixedWorld;
 pub use qpip_nic::{
     ChecksumMode, Completion, CompletionKind, CompletionStatus, CqId, MrKey, NicConfig, NicError,
     QpId, RdmaReadWr, RdmaWriteWr, RecvWr, SendWr, ServiceType,
 };
-pub use mixed::MixedWorld;
 pub use world::{NodeIdx, QpipWorld};

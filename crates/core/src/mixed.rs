@@ -29,20 +29,13 @@ use crate::world::NodeIdx;
 
 #[derive(Debug)]
 enum Ev {
-    Packet { node: usize, bytes: Vec<u8> },
+    Packet { node: usize, bytes: qpip_wire::Packet },
     Timer { node: usize },
 }
 
 enum Backend {
-    Qpip {
-        nic: Box<QpipNic>,
-        cpu: CpuLedger,
-        cqs: HashMap<CqId, VecDeque<Completion>>,
-    },
-    Host {
-        stack: Box<HostStack>,
-        events: Vec<HostOutput>,
-    },
+    Qpip { nic: Box<QpipNic>, cpu: CpuLedger, cqs: HashMap<CqId, VecDeque<Completion>> },
+    Host { stack: Box<HostStack>, events: Vec<HostOutput> },
 }
 
 struct Node {
@@ -72,11 +65,7 @@ impl MixedWorld {
     /// Creates a mixed world over the given fabric. The fabric MTU must
     /// suit both node kinds (e.g. 9000 for Myrinet carrying both).
     pub fn new(fabric: FabricConfig) -> Self {
-        MixedWorld {
-            sim: Simulator::new(),
-            fabric: Fabric::new(fabric),
-            nodes: Vec::new(),
-        }
+        MixedWorld { sim: Simulator::new(), fabric: Fabric::new(fabric), nodes: Vec::new() }
     }
 
     /// Adds a QPIP node (stack in the NIC, queue-pair interface).
@@ -129,7 +118,11 @@ impl MixedWorld {
         self.sim.now()
     }
 
-    fn qpip(&mut self, node: NodeIdx) -> (&mut QpipNic, &mut CpuLedger, &mut HashMap<CqId, VecDeque<Completion>>, &mut SimTime) {
+    fn qpip(
+        &mut self,
+        node: NodeIdx,
+    ) -> (&mut QpipNic, &mut CpuLedger, &mut HashMap<CqId, VecDeque<Completion>>, &mut SimTime)
+    {
         let n = &mut self.nodes[node.0];
         match &mut n.backend {
             Backend::Qpip { nic, cpu, cqs } => (nic, cpu, cqs, &mut n.app_time),
@@ -341,10 +334,9 @@ impl MixedWorld {
         loop {
             {
                 let (_, events, app_time) = self.host(node);
-                if let Some(pos) = events
-                    .iter()
-                    .position(|e| matches!(e, HostOutput::Accepted { listener: l, .. } if *l == listener))
-                {
+                if let Some(pos) = events.iter().position(
+                    |e| matches!(e, HostOutput::Accepted { listener: l, .. } if *l == listener),
+                ) {
                     let HostOutput::Accepted { sock, at, .. } = events.remove(pos) else {
                         unreachable!()
                     };
@@ -463,7 +455,7 @@ impl MixedWorld {
         true
     }
 
-    fn transmit(&mut self, node: usize, at: SimTime, dst: Ipv6Addr, bytes: Vec<u8>) {
+    fn transmit(&mut self, node: usize, at: SimTime, dst: Ipv6Addr, bytes: qpip_wire::Packet) {
         let from = self.nodes[node].fabric_id;
         if let TransmitOutcome::Delivered { to, at: arrive, marked } =
             self.fabric.transmit(at, from, dst, bytes.len())

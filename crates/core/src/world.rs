@@ -33,7 +33,7 @@ const DOORBELL_PCI_LATENCY: SimDuration = SimDuration::from_nanos(200);
 
 #[derive(Debug)]
 enum WorldEvent {
-    Packet { node: usize, bytes: Vec<u8> },
+    Packet { node: usize, bytes: qpip_wire::Packet },
     Timer { node: usize },
 }
 
@@ -67,11 +67,7 @@ impl QpipWorld {
     /// Creates a world over the given fabric (usually
     /// [`FabricConfig::myrinet`]).
     pub fn new(fabric: FabricConfig) -> Self {
-        QpipWorld {
-            sim: Simulator::new(),
-            fabric: Fabric::new(fabric),
-            nodes: Vec::new(),
-        }
+        QpipWorld { sim: Simulator::new(), fabric: Fabric::new(fabric), nodes: Vec::new() }
     }
 
     /// A Myrinet world with the QPIP native MTU (the paper's testbed).
@@ -316,15 +312,13 @@ impl QpipWorld {
     pub fn poll(&mut self, node: NodeIdx, cq: CqId) -> Option<Completion> {
         self.pump_ready(node);
         let app_time = self.nodes[node.0].app_time;
-        let head_visible = self.nodes[node.0]
-            .cqs
-            .get(&cq)
-            .and_then(|q| q.front())
-            .map(|c| c.visible_at);
+        let head_visible =
+            self.nodes[node.0].cqs.get(&cq).and_then(|q| q.front()).map(|c| c.visible_at);
         match head_visible {
             Some(v) if v <= app_time => {
                 let n = &mut self.nodes[node.0];
-                n.app_time = n.cpu.charge(n.app_time, WorkClass::Verbs, params::QPIP_POLL_HIT_CYCLES);
+                n.app_time =
+                    n.cpu.charge(n.app_time, WorkClass::Verbs, params::QPIP_POLL_HIT_CYCLES);
                 Some(n.cqs.get_mut(&cq).expect("cq exists").pop_front().expect("head"))
             }
             _ => {
@@ -374,11 +368,8 @@ impl QpipWorld {
     /// [`QpipWorld::wait`] for callers juggling several queues.
     pub fn try_wait(&mut self, node: NodeIdx, cq: CqId) -> Option<Completion> {
         self.pump_ready(node);
-        let head_visible = self.nodes[node.0]
-            .cqs
-            .get(&cq)
-            .and_then(|q| q.front())
-            .map(|c| c.visible_at)?;
+        let head_visible =
+            self.nodes[node.0].cqs.get(&cq).and_then(|q| q.front()).map(|c| c.visible_at)?;
         let n = &mut self.nodes[node.0];
         n.app_time = n.cpu.charge(
             n.app_time.max(head_visible),
@@ -482,18 +473,13 @@ impl QpipWorld {
                             }
                             // deliveries cannot be scheduled into the past
                             let arrive = arrive.max(self.sim.now());
-                            self.sim
-                                .schedule_at(arrive, WorldEvent::Packet { node: dest, bytes });
+                            self.sim.schedule_at(arrive, WorldEvent::Packet { node: dest, bytes });
                         }
                         TransmitOutcome::Dropped(_) => {}
                     }
                 }
                 NicOutput::Complete(cq, c) => {
-                    self.nodes[node]
-                        .cqs
-                        .entry(cq)
-                        .or_default()
-                        .push_back(c);
+                    self.nodes[node].cqs.entry(cq).or_default().push_back(c);
                 }
             }
         }

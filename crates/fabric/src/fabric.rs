@@ -95,10 +95,7 @@ impl FabricConfig {
     /// Myrinet carrying IP at the GM jumbo MTU (the IP-over-Myrinet
     /// baseline, §4.2.1).
     pub fn myrinet_gm() -> Self {
-        FabricConfig {
-            mtu: params::GM_MTU,
-            ..FabricConfig::myrinet()
-        }
+        FabricConfig { mtu: params::GM_MTU, ..FabricConfig::myrinet() }
     }
 }
 
@@ -188,10 +185,7 @@ impl Fabric {
         assert!(switches > 0, "a fabric needs at least one switch");
         let trunk = |_: usize| BandwidthPipe::new("trunk", cfg.bytes_per_sec);
         Fabric {
-            trunks: [
-                (1..switches).map(trunk).collect(),
-                (1..switches).map(trunk).collect(),
-            ],
+            trunks: [(1..switches).map(trunk).collect(), (1..switches).map(trunk).collect()],
             cfg,
             uplinks: Vec::new(),
             downlinks: Vec::new(),
@@ -246,15 +240,11 @@ impl Fabric {
     /// Panics if the address is already attached or the switch index is
     /// out of range.
     pub fn attach_at(&mut self, addr: Ipv6Addr, switch: usize) -> NodeId {
-        assert!(
-            !self.addr_map.contains_key(&addr),
-            "address {addr} already attached"
-        );
+        assert!(!self.addr_map.contains_key(&addr), "address {addr} already attached");
         assert!(switch <= self.trunks[0].len(), "switch {switch} out of range");
         let id = NodeId(self.uplinks.len() as u32);
         self.uplinks.push(BandwidthPipe::new("uplink", self.cfg.bytes_per_sec));
-        self.downlinks
-            .push(BandwidthPipe::new("downlink", self.cfg.bytes_per_sec));
+        self.downlinks.push(BandwidthPipe::new("downlink", self.cfg.bytes_per_sec));
         self.node_switch.push(switch);
         self.addrs.push(addr);
         self.addr_map.insert(addr, id);
@@ -289,10 +279,7 @@ impl Fabric {
 
     /// Serialization time of a packet of `len` IP bytes on one link.
     pub fn serialization(&self, len: usize) -> SimDuration {
-        SimDuration::for_bytes(
-            (len + self.cfg.frame_overhead) as u64,
-            self.cfg.bytes_per_sec,
-        )
+        SimDuration::for_bytes((len + self.cfg.frame_overhead) as u64, self.cfg.bytes_per_sec)
     }
 
     /// One-way latency of a `len`-byte packet across an idle fabric,
@@ -302,9 +289,7 @@ impl Fabric {
     pub fn idle_latency(&self, len: usize) -> SimDuration {
         let ser = self.serialization(len);
         match self.cfg.switching {
-            Switching::CutThrough => {
-                ser + self.cfg.cable_latency * 2 + self.cfg.switch_latency
-            }
+            Switching::CutThrough => ser + self.cfg.cable_latency * 2 + self.cfg.switch_latency,
             Switching::StoreAndForward => {
                 ser * 2 + self.cfg.cable_latency * 2 + self.cfg.switch_latency
             }
@@ -385,10 +370,7 @@ impl Fabric {
                 (down_done + self.cfg.cable_latency, down_start.duration_since(ready))
             }
         };
-        let marked = self
-            .cfg
-            .ecn_mark_threshold
-            .is_some_and(|thresh| queue_delay > thresh);
+        let marked = self.cfg.ecn_mark_threshold.is_some_and(|thresh| queue_delay > thresh);
         if marked {
             self.ecn_marks += 1;
         }
@@ -419,9 +401,7 @@ mod tests {
         // 100-byte packet: ser = 116B / 250MB/s = 0.464us, + 0.2us cable
         // + 0.3us switch ≈ 0.96us
         let out = f.transmit(SimTime::ZERO, a, addr(2), 100);
-        let TransmitOutcome::Delivered { at, .. } = out else {
-            panic!("dropped: {out:?}")
-        };
+        let TransmitOutcome::Delivered { at, .. } = out else { panic!("dropped: {out:?}") };
         let us = at.as_micros_f64();
         assert!((0.9..1.1).contains(&us), "{us}");
         assert_eq!(at - SimTime::ZERO, f.idle_latency(100));
@@ -634,10 +614,7 @@ mod multiswitch_tests {
 
     #[test]
     fn store_and_forward_multihop_reserializes_per_trunk() {
-        let cfg = FabricConfig {
-            switching: Switching::StoreAndForward,
-            ..FabricConfig::myrinet()
-        };
+        let cfg = FabricConfig { switching: Switching::StoreAndForward, ..FabricConfig::myrinet() };
         let mut near = Fabric::with_switches(cfg.clone(), 2);
         let n1 = near.attach_at(addr(1), 0);
         near.attach_at(addr(2), 0);

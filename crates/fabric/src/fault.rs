@@ -6,8 +6,7 @@
 //! with [`FaultPlan::None`]. The TCP recovery paths still need exercise,
 //! which is what the other plans are for.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use qpip_sim::rng::SplitMix64;
 
 /// What happens to each packet crossing the fabric.
 #[derive(Debug, Clone)]
@@ -32,7 +31,7 @@ pub enum FaultPlan {
 #[derive(Debug)]
 pub struct FaultInjector {
     plan: FaultPlan,
-    rng: StdRng,
+    rng: SplitMix64,
     index: u64,
     dropped: u64,
 }
@@ -44,12 +43,7 @@ impl FaultInjector {
             FaultPlan::DropRandom { seed, .. } => *seed,
             _ => 0,
         };
-        FaultInjector {
-            plan,
-            rng: StdRng::seed_from_u64(seed),
-            index: 0,
-            dropped: 0,
-        }
+        FaultInjector { plan, rng: SplitMix64::new(seed), index: 0, dropped: 0 }
     }
 
     /// Decides the fate of the next packet: `true` means drop.
@@ -60,9 +54,7 @@ impl FaultInjector {
             FaultPlan::None => false,
             FaultPlan::DropIndices(list) => list.contains(&idx),
             FaultPlan::DropEveryNth(n) => *n > 0 && (idx + 1).is_multiple_of(*n),
-            FaultPlan::DropRandom { permille, .. } => {
-                self.rng.gen_range(0u32..1000) < *permille
-            }
+            FaultPlan::DropRandom { permille, .. } => self.rng.chance(u64::from(*permille), 1000),
         };
         if drop {
             self.dropped += 1;
@@ -111,10 +103,7 @@ mod tests {
     fn every_nth_is_periodic() {
         let mut f = FaultInjector::new(FaultPlan::DropEveryNth(3));
         let fates: Vec<bool> = (0..9).map(|_| f.should_drop()).collect();
-        assert_eq!(
-            fates,
-            vec![false, false, true, false, false, true, false, false, true]
-        );
+        assert_eq!(fates, vec![false, false, true, false, false, true, false, false, true]);
     }
 
     #[test]

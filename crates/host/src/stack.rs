@@ -40,8 +40,8 @@ pub enum HostOutput {
         at: SimTime,
         /// Destination address.
         dst: Ipv6Addr,
-        /// IPv6 packet bytes.
-        bytes: Vec<u8>,
+        /// IPv6 packet bytes (with transmit headroom in front).
+        bytes: qpip_wire::Packet,
     },
     /// An active open completed.
     Connected {
@@ -534,11 +534,7 @@ impl HostStack {
         t = self.cpu.charge(
             t,
             WorkClass::Protocol,
-            if is_udp {
-                params::HOST_UDP_INPUT_CYCLES
-            } else {
-                params::HOST_TCP_INPUT_CYCLES
-            },
+            if is_udp { params::HOST_UDP_INPUT_CYCLES } else { params::HOST_TCP_INPUT_CYCLES },
         );
         let emits = self.engine.on_packet(t, bytes);
         let _ = self.engine.take_ops();
@@ -566,7 +562,12 @@ impl HostStack {
 
     /// Handles engine emissions; returns the CPU completion time of the
     /// last charged work.
-    fn process_emits(&mut self, t: SimTime, emits: Vec<Emit>, out: &mut Vec<HostOutput>) -> SimTime {
+    fn process_emits(
+        &mut self,
+        t: SimTime,
+        emits: Vec<Emit>,
+        out: &mut Vec<HostOutput>,
+    ) -> SimTime {
         let mut t = t;
         for emit in emits {
             match emit {
@@ -583,7 +584,11 @@ impl HostStack {
                     }
                     let at = match self.nic.as_mut() {
                         Some(nic) => {
-                            let td = self.cpu.charge(t, WorkClass::Driver, params::HOST_DRIVER_TX_CYCLES);
+                            let td = self.cpu.charge(
+                                t,
+                                WorkClass::Driver,
+                                params::HOST_DRIVER_TX_CYCLES,
+                            );
                             nic.tx(td, pkt.bytes.len())
                         }
                         None => t,
@@ -596,7 +601,11 @@ impl HostStack {
                         let was_empty = s.udp_rx.is_empty();
                         s.udp_rx.push_back((src, payload));
                         if was_empty {
-                            t = self.cpu.charge(t, WorkClass::Interrupt, params::HOST_WAKEUP_CYCLES);
+                            t = self.cpu.charge(
+                                t,
+                                WorkClass::Interrupt,
+                                params::HOST_WAKEUP_CYCLES,
+                            );
                             out.push(HostOutput::DataReady { sock, at: t });
                         }
                     }
@@ -607,7 +616,11 @@ impl HostStack {
                         let was_empty = s.rx.is_empty();
                         s.rx.extend(data);
                         if was_empty {
-                            t = self.cpu.charge(t, WorkClass::Interrupt, params::HOST_WAKEUP_CYCLES);
+                            t = self.cpu.charge(
+                                t,
+                                WorkClass::Interrupt,
+                                params::HOST_WAKEUP_CYCLES,
+                            );
                             out.push(HostOutput::DataReady { sock, at: t });
                         }
                     }

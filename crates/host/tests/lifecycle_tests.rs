@@ -16,7 +16,7 @@ struct Net {
     a: HostStack,
     b: HostStack,
     now: SimTime,
-    wire: VecDeque<(bool, SimTime, Vec<u8>)>,
+    wire: VecDeque<(bool, SimTime, qpip_wire::Packet)>,
     events_a: Vec<HostOutput>,
     events_b: Vec<HostOutput>,
 }
@@ -67,10 +67,7 @@ impl Net {
     }
 
     fn fire_timers(&mut self) -> bool {
-        let next = [self.a.next_deadline(), self.b.next_deadline()]
-            .into_iter()
-            .flatten()
-            .min();
+        let next = [self.a.next_deadline(), self.b.next_deadline()].into_iter().flatten().min();
         let Some(d) = next else { return false };
         self.now = self.now.max(d);
         let oa = self.a.on_timer(self.now);
@@ -137,10 +134,7 @@ fn both_sides_closing_reaps_connections() {
         }
     }
     // further sends fail: the connections are gone
-    assert!(matches!(
-        n.a.send(n.now, cs, vec![1]),
-        Err(SockError::InvalidState(_))
-    ));
+    assert!(matches!(n.a.send(n.now, cs, vec![1]), Err(SockError::InvalidState(_))));
 }
 
 #[test]
@@ -177,8 +171,7 @@ fn sndbuf_backpressure_releases_after_acks() {
     let (cs, ss) = n.connect();
     // fill the 64 KB sndbuf without draining the wire
     let mut accepted = 0usize;
-    while let (SendOutcome::Sent { .. }, outs) = n.a.send(n.now, cs, vec![0; 16 * 1024]).unwrap()
-    {
+    while let (SendOutcome::Sent { .. }, outs) = n.a.send(n.now, cs, vec![0; 16 * 1024]).unwrap() {
         accepted += 16 * 1024;
         n.absorb(true, outs);
         assert!(accepted <= 128 * 1024, "sndbuf never filled");
@@ -186,10 +179,7 @@ fn sndbuf_backpressure_releases_after_acks() {
     // drain the wire: ACKs come back and space frees
     n.run();
     n.fire_timers();
-    assert!(n
-        .events_a
-        .iter()
-        .any(|e| matches!(e, HostOutput::SendSpace { .. })));
+    assert!(n.events_a.iter().any(|e| matches!(e, HostOutput::SendSpace { .. })));
     let (outcome, _) = n.a.send(n.now, cs, vec![0; 1024]).unwrap();
     assert!(matches!(outcome, SendOutcome::Sent { .. }));
     let _ = ss;
@@ -211,10 +201,7 @@ fn cpu_breakdown_covers_all_classes_on_a_transfer() {
         WorkClass::Interrupt,
         WorkClass::Driver,
     ] {
-        assert!(
-            n.b.cpu().cycles(class) > 0,
-            "{class:?} uncharged on the receiver"
-        );
+        assert!(n.b.cpu().cycles(class) > 0, "{class:?} uncharged on the receiver");
     }
     // sender breakdown: no interrupts needed to send on this path beyond
     // wakeups; syscall + protocol + copy + driver must all appear
@@ -234,9 +221,6 @@ fn interrupt_coalescing_reduces_interrupts_in_bulk() {
     n.fire_timers();
     let frames = 63 * 1024 / 1428 + 1;
     let taken = n.b.interrupts() - before;
-    assert!(
-        taken < frames,
-        "coalescing: {taken} interrupts for ~{frames} frames"
-    );
+    assert!(taken < frames, "coalescing: {taken} interrupts for ~{frames} frames");
     let _ = ss;
 }

@@ -17,7 +17,7 @@ struct Net {
     a: HostStack,
     b: HostStack,
     now: SimTime,
-    wire: VecDeque<(bool, SimTime, Vec<u8>)>,
+    wire: VecDeque<(bool, SimTime, qpip_wire::Packet)>,
     events_a: Vec<HostOutput>,
     events_b: Vec<HostOutput>,
 }
@@ -68,10 +68,7 @@ impl Net {
     }
 
     fn fire_timers(&mut self) -> bool {
-        let next = [self.a.next_deadline(), self.b.next_deadline()]
-            .into_iter()
-            .flatten()
-            .min();
+        let next = [self.a.next_deadline(), self.b.next_deadline()].into_iter().flatten().min();
         let Some(d) = next else { return false };
         self.now = self.now.max(d);
         let oa = self.a.on_timer(self.now);
@@ -86,10 +83,7 @@ impl Net {
         let ls = self.b.tcp_socket();
         self.b.listen(ls, 5001).unwrap();
         let cs = self.a.tcp_socket();
-        let outs = self
-            .a
-            .connect(self.now, cs, 4001, Endpoint::new(addr(2), 5001))
-            .unwrap();
+        let outs = self.a.connect(self.now, cs, 4001, Endpoint::new(addr(2), 5001)).unwrap();
         self.absorb(true, outs);
         self.run();
         let accepted = self
@@ -177,10 +171,7 @@ fn udp_roundtrip_and_wakeup() {
     let sb = n.b.udp_socket();
     n.a.udp_bind(sa, 7000).unwrap();
     n.b.udp_bind(sb, 7001).unwrap();
-    let (_, outs) = n
-        .a
-        .udp_send(n.now, sa, Endpoint::new(addr(2), 7001), b"marco")
-        .unwrap();
+    let (_, outs) = n.a.udp_send(n.now, sa, Endpoint::new(addr(2), 7001), b"marco").unwrap();
     n.absorb(true, outs);
     n.run();
     assert!(n
@@ -238,9 +229,11 @@ fn loopback_one_byte_overhead_matches_table1() {
     host.listen(ls, 9000).unwrap();
     let cs = host.tcp_socket();
     let mut now = SimTime::ZERO;
-    let mut frames: VecDeque<Vec<u8>> = VecDeque::new();
+    let mut frames: VecDeque<qpip_wire::Packet> = VecDeque::new();
     let mut events = Vec::new();
-    let absorb = |outs: Vec<HostOutput>, frames: &mut VecDeque<Vec<u8>>, events: &mut Vec<HostOutput>| {
+    let absorb = |outs: Vec<HostOutput>,
+                  frames: &mut VecDeque<qpip_wire::Packet>,
+                  events: &mut Vec<HostOutput>| {
         for o in outs {
             match o {
                 HostOutput::Frame { bytes, .. } => frames.push_back(bytes),

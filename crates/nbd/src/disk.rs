@@ -50,10 +50,7 @@ impl ServerDisk {
 
     /// Creates a disk that also stores written bytes (integrity tests).
     pub fn with_content() -> Self {
-        ServerDisk {
-            content: Some(std::collections::BTreeMap::new()),
-            ..ServerDisk::new()
-        }
+        ServerDisk { content: Some(std::collections::BTreeMap::new()), ..ServerDisk::new() }
     }
 
     /// Accepts a write of `len` bytes at `now`: it is durable in the
@@ -131,7 +128,7 @@ mod tests {
     fn writeback_trails_writes_at_disk_rate() {
         let mut d = ServerDisk::new();
         d.write(SimTime::ZERO, 10_000_000); // 10 MB
-        // 10 MB at 100 MB/s = 100 ms
+                                            // 10 MB at 100 MB/s = 100 ms
         assert_eq!(d.sync_done(), SimTime::ZERO + SimDuration::from_millis(100));
         assert_eq!(d.bytes_written(), 10_000_000);
     }

@@ -32,11 +32,7 @@ pub struct NbdConfig {
 
 impl Default for NbdConfig {
     fn default() -> Self {
-        NbdConfig {
-            total_bytes: params::NBD_TRANSFER_BYTES,
-            block: 64 * 1024,
-            queue_depth: 4,
-        }
+        NbdConfig { total_bytes: params::NBD_TRANSFER_BYTES, block: 64 * 1024, queue_depth: 4 }
     }
 }
 
@@ -119,15 +115,13 @@ impl Bench {
         fs_cycles: u64,
     ) -> PhaseResult {
         let elapsed = t1.duration_since(t0).as_secs_f64();
-        let busy =
-            (self.w.cpu(self.client).busy_time() - busy0).as_secs_f64();
+        let busy = (self.w.cpu(self.client).busy_time() - busy0).as_secs_f64();
         let mb = bytes as f64 / 1e6;
         PhaseResult {
             mbytes_per_sec: mb / elapsed,
             client_cpu: busy / elapsed,
             mb_per_cpu_sec: mb / busy,
-            fs_fraction: (fs_cycles as f64 / params::HOST_CLOCK_MHZ as f64 / 1e6)
-                / elapsed,
+            fs_fraction: (fs_cycles as f64 / params::HOST_CLOCK_MHZ as f64 / 1e6) / elapsed,
             elapsed_s: elapsed,
         }
     }
@@ -153,22 +147,22 @@ impl Bench {
                     len: cfg.block as u32,
                 };
                 self.w
-                    .post_send(self.client, self.qc, SendWr {
-                        wr_id: sent * 100,
-                        payload: req.encode(),
-                        dst: None,
-                    })
+                    .post_send(
+                        self.client,
+                        self.qc,
+                        SendWr { wr_id: sent * 100, payload: req.encode(), dst: None },
+                    )
                     .unwrap();
                 let mut left = cfg.block;
                 for m in 0..msgs {
                     let n = left.min(self.data_msg);
                     left -= n;
                     self.w
-                        .post_send(self.client, self.qc, SendWr {
-                            wr_id: sent * 100 + 1 + m,
-                            payload: vec![0x5a; n],
-                            dst: None,
-                        })
+                        .post_send(
+                            self.client,
+                            self.qc,
+                            SendWr { wr_id: sent * 100 + 1 + m, payload: vec![0x5a; n], dst: None },
+                        )
                         .unwrap();
                 }
                 sent += 1;
@@ -189,11 +183,15 @@ impl Bench {
                     let now = self.w.app_time(self.server);
                     self.disk.write(now, cfg.block);
                     self.w
-                        .post_send(self.server, self.qs, SendWr {
-                            wr_id: done,
-                            payload: crate::proto::NbdReply { error: 0, handle: done }.encode(),
-                            dst: None,
-                        })
+                        .post_send(
+                            self.server,
+                            self.qs,
+                            SendWr {
+                                wr_id: done,
+                                payload: crate::proto::NbdReply { error: 0, handle: done }.encode(),
+                                dst: None,
+                            },
+                        )
                         .unwrap();
                 }
             }
@@ -233,11 +231,11 @@ impl Bench {
                     len: cfg.block as u32,
                 };
                 self.w
-                    .post_send(self.client, self.qc, SendWr {
-                        wr_id: sent,
-                        payload: req.encode(),
-                        dst: None,
-                    })
+                    .post_send(
+                        self.client,
+                        self.qc,
+                        SendWr { wr_id: sent, payload: req.encode(), dst: None },
+                    )
                     .unwrap();
                 sent += 1;
             }
@@ -259,11 +257,15 @@ impl Bench {
                         let n = left.min(self.data_msg);
                         left -= n;
                         self.w
-                            .post_send(self.server, self.qs, SendWr {
-                                wr_id: req.handle * 100 + m,
-                                payload: vec![0xc3; n],
-                                dst: None,
-                            })
+                            .post_send(
+                                self.server,
+                                self.qs,
+                                SendWr {
+                                    wr_id: req.handle * 100 + m,
+                                    payload: vec![0xc3; n],
+                                    dst: None,
+                                },
+                            )
                             .unwrap();
                     }
                 }

@@ -9,9 +9,7 @@
 //! send-receive path (the server must see them to commit).
 
 use qpip::world::QpipWorld;
-use qpip::{
-    CompletionKind, MrKey, NicConfig, NodeIdx, RdmaWriteWr, RecvWr, SendWr, ServiceType,
-};
+use qpip::{CompletionKind, MrKey, NicConfig, NodeIdx, RdmaWriteWr, RecvWr, SendWr, ServiceType};
 use qpip_host::WorkClass;
 use qpip_netstack::types::Endpoint;
 use qpip_sim::params;
@@ -42,11 +40,7 @@ fn parse_read_request(data: &[u8]) -> (NbdRequest, MrKey, u64) {
 /// Runs the sequential-read phase of the Figure 7 benchmark with RDMA
 /// data placement, for comparison with the send-receive NBD.
 pub fn run_read(cfg: NbdConfig) -> PhaseResult {
-    let nic = NicConfig {
-        mtu: params::GM_MTU,
-        rdma_framing: true,
-        ..NicConfig::paper_default()
-    };
+    let nic = NicConfig { mtu: params::GM_MTU, rdma_framing: true, ..NicConfig::paper_default() };
     let mut w = QpipWorld::new(qpip_fabric::FabricConfig {
         mtu: params::GM_MTU,
         ..qpip_fabric::FabricConfig::myrinet()
@@ -95,11 +89,11 @@ pub fn run_read(cfg: NbdConfig) -> PhaseResult {
                 len: cfg.block as u32,
             };
             let slot = (sent % cfg.queue_depth) * cfg.block as u64;
-            w.post_send(client, qc, SendWr {
-                wr_id: sent,
-                payload: encode_read_request(&req, arena, slot),
-                dst: None,
-            })
+            w.post_send(
+                client,
+                qc,
+                SendWr { wr_id: sent, payload: encode_read_request(&req, arena, slot), dst: None },
+            )
             .unwrap();
             sent += 1;
         }
@@ -120,22 +114,30 @@ pub fn run_read(cfg: NbdConfig) -> PhaseResult {
                 while remaining > 0 {
                     let n = remaining.min(data_msg);
                     remaining -= n;
-                    w.post_rdma_write(server, qs, RdmaWriteWr {
-                        wr_id: req.handle,
-                        data: vec![0xd1; n],
-                        rkey,
-                        remote_offset: off,
-                    })
+                    w.post_rdma_write(
+                        server,
+                        qs,
+                        RdmaWriteWr {
+                            wr_id: req.handle,
+                            data: vec![0xd1; n],
+                            rkey,
+                            remote_offset: off,
+                        },
+                    )
                     .unwrap();
                     off += n as u64;
                 }
                 // completion notification rides an ordinary send; TCP
                 // ordering guarantees the RDMA data landed first
-                w.post_send(server, qs, SendWr {
-                    wr_id: req.handle,
-                    payload: req.handle.to_be_bytes().to_vec(),
-                    dst: None,
-                })
+                w.post_send(
+                    server,
+                    qs,
+                    SendWr {
+                        wr_id: req.handle,
+                        payload: req.handle.to_be_bytes().to_vec(),
+                        dst: None,
+                    },
+                )
                 .unwrap();
             }
             continue;
@@ -144,10 +146,7 @@ pub fn run_read(cfg: NbdConfig) -> PhaseResult {
         let c = w.wait(client, cqc);
         if matches!(c.kind, CompletionKind::Recv { .. }) {
             post(&mut w, client, qc, &mut recv_seq);
-            w.charge_app(
-                client,
-                (cfg.block as u64 * params::NBD_FS_CYCLES_PER_BYTE_X100) / 100,
-            );
+            w.charge_app(client, (cfg.block as u64 * params::NBD_FS_CYCLES_PER_BYTE_X100) / 100);
             done += 1;
             t_end = w.app_time(client);
         }

@@ -84,7 +84,7 @@ impl Bench {
         let fs0 = self.w.cpu(self.client).cycles(WorkClass::App);
         let mut sent = 0u64; // blocks fully handed to the socket
         let mut done = 0u64; // replies received
-        // server-side in-progress request state
+                             // server-side in-progress request state
         let mut srv_need = REQUEST_LEN; // bytes still needed for this step
         let mut srv_have: Vec<u8> = Vec::new();
         let mut srv_reading_data = false;
@@ -132,10 +132,7 @@ impl Bench {
                         if srv_data_left == 0 {
                             // block complete: commit and reply
                             let req = NbdRequest::parse(&srv_have).expect("header");
-                            self.w.charge_app(
-                                self.server,
-                                params::NBD_SERVER_PER_REQUEST_CYCLES,
-                            );
+                            self.w.charge_app(self.server, params::NBD_SERVER_PER_REQUEST_CYCLES);
                             let now = self.w.app_time(self.server);
                             self.disk.write(now, req.len as usize);
                             let reply = NbdReply { error: 0, handle: req.handle }.encode();
@@ -211,10 +208,7 @@ impl Bench {
                     srv_have.clear();
                     let now = self.w.app_time(self.server);
                     self.disk.read(now, req.len as usize);
-                    self.w.charge_app(
-                        self.server,
-                        params::NBD_SERVER_PER_REQUEST_CYCLES,
-                    );
+                    self.w.charge_app(self.server, params::NBD_SERVER_PER_REQUEST_CYCLES);
                     let mut msg = NbdReply { error: 0, handle: req.handle }.encode();
                     msg.extend(std::iter::repeat_n(0xc3u8, req.len as usize));
                     srv_pending = Some(msg);

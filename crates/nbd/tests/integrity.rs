@@ -22,9 +22,7 @@ struct Rig {
 }
 
 fn pattern(block: u64, len: usize) -> Vec<u8> {
-    (0..len)
-        .map(|i| ((block as usize).wrapping_mul(131) ^ i.wrapping_mul(7)) as u8)
-        .collect()
+    (0..len).map(|i| ((block as usize).wrapping_mul(131) ^ i.wrapping_mul(7)) as u8).collect()
 }
 
 impl Rig {
@@ -82,11 +80,11 @@ impl Rig {
             .unwrap();
         for chunk in data.chunks(self.data_msg) {
             self.w
-                .post_send(self.client, self.qc, SendWr {
-                    wr_id: 2,
-                    payload: chunk.to_vec(),
-                    dst: None,
-                })
+                .post_send(
+                    self.client,
+                    self.qc,
+                    SendWr { wr_id: 2, payload: chunk.to_vec(), dst: None },
+                )
                 .unwrap();
         }
         // server: gather header + data, commit, reply
@@ -108,11 +106,15 @@ impl Rig {
         let now = self.w.app_time(self.server);
         self.disk.write_data(now, req.offset, &body);
         self.w
-            .post_send(self.server, self.qs, SendWr {
-                wr_id: 3,
-                payload: NbdReply { error: 0, handle: req.handle }.encode(),
-                dst: None,
-            })
+            .post_send(
+                self.server,
+                self.qs,
+                SendWr {
+                    wr_id: 3,
+                    payload: NbdReply { error: 0, handle: req.handle }.encode(),
+                    dst: None,
+                },
+            )
             .unwrap();
         let c = self.w.wait_matching(self.client, self.cqc, |c| {
             matches!(c.kind, CompletionKind::Recv { .. })
@@ -146,11 +148,11 @@ impl Rig {
         let content = self.disk.read_data(now, req.offset, req.len as usize);
         for chunk in content.chunks(self.data_msg) {
             self.w
-                .post_send(self.server, self.qs, SendWr {
-                    wr_id: 4,
-                    payload: chunk.to_vec(),
-                    dst: None,
-                })
+                .post_send(
+                    self.server,
+                    self.qs,
+                    SendWr { wr_id: 4, payload: chunk.to_vec(), dst: None },
+                )
                 .unwrap();
         }
         let mut body = Vec::new();

@@ -1,20 +1,29 @@
 //! Whole-packet encoding and decoding: transport segment + IPv6 header,
 //! checksums computed and verified exactly as the wire would carry them.
+//!
+//! The encode path is zero-copy: the payload is written once into a
+//! [`Packet`] with headroom and each header is prepended in place
+//! ([`Packet::prepend_space`] + the `encode_into` slice encoders), so a
+//! full IPv6+TCP/UDP packet costs one allocation and no payload moves.
+//! The decode path borrows: [`Decoded`] carries `&[u8]` views into the
+//! received buffer instead of copied vectors.
 
 use std::net::Ipv6Addr;
 
 use qpip_wire::checksum::{transport_checksum, verify_transport_checksum};
 use qpip_wire::error::ParseWireError;
 use qpip_wire::ipv6::{Ipv6Header, NextHeader, IPV6_HEADER_LEN};
+use qpip_wire::packet::{Packet, HEADROOM};
 use qpip_wire::tcp::TcpHeader;
 use qpip_wire::udp::{UdpHeader, UDP_HEADER_LEN};
 
 use crate::tcp::SegmentOut;
 use crate::types::Endpoint;
 
-/// A fully decoded incoming packet.
+/// A fully decoded incoming packet. Payloads are borrowed views into
+/// the receive buffer — copying (if any) happens at delivery, not here.
 #[derive(Debug)]
-pub enum Decoded {
+pub enum Decoded<'a> {
     /// A TCP segment.
     Tcp {
         /// The IPv6 header.
@@ -22,7 +31,7 @@ pub enum Decoded {
         /// The TCP header.
         tcp: TcpHeader,
         /// Segment payload.
-        payload: Vec<u8>,
+        payload: &'a [u8],
     },
     /// A UDP datagram.
     Udp {
@@ -31,7 +40,7 @@ pub enum Decoded {
         /// The UDP header.
         udp: UdpHeader,
         /// Datagram payload.
-        payload: Vec<u8>,
+        payload: &'a [u8],
     },
     /// An upper-layer protocol we do not implement.
     Other {
@@ -46,20 +55,20 @@ pub enum Decoded {
 ///
 /// Panics if the datagram exceeds 65 535 bytes (callers segment to the
 /// fabric MTU well below that).
-pub fn build_udp_packet(src: Endpoint, dst: Endpoint, payload: &[u8]) -> Vec<u8> {
+pub fn build_udp_packet(src: Endpoint, dst: Endpoint, payload: &[u8]) -> Packet {
     let udp = UdpHeader::for_payload(src.port, dst.port, payload.len());
-    let mut seg = Vec::with_capacity(UDP_HEADER_LEN + payload.len());
-    udp.encode(&mut seg);
-    seg.extend_from_slice(payload);
-    let ck = transport_checksum(src.addr, dst.addr, NextHeader::Udp.code(), &seg);
+    let mut pkt = Packet::with_headroom(payload, HEADROOM);
+    udp.encode_into(pkt.prepend_space(UDP_HEADER_LEN));
+    let ck = transport_checksum(src.addr, dst.addr, NextHeader::Udp.code(), &pkt);
     // UDP over IPv6: a computed 0 is transmitted as 0xffff (RFC 2460 §8.1)
     let ck = if ck == 0 { 0xffff } else { ck };
-    seg[6..8].copy_from_slice(&ck.to_be_bytes());
-    wrap_ipv6(src.addr, dst.addr, NextHeader::Udp, seg)
+    pkt[6..8].copy_from_slice(&ck.to_be_bytes());
+    prepend_ipv6(&mut pkt, src.addr, dst.addr, NextHeader::Udp);
+    pkt
 }
 
 /// Builds a complete IPv6+TCP packet from an abstract [`SegmentOut`].
-pub fn build_tcp_packet(src: Endpoint, dst: Endpoint, seg: &SegmentOut) -> Vec<u8> {
+pub fn build_tcp_packet(src: Endpoint, dst: Endpoint, seg: &SegmentOut) -> Packet {
     let hdr = TcpHeader {
         src_port: src.port,
         dst_port: dst.port,
@@ -71,24 +80,22 @@ pub fn build_tcp_packet(src: Endpoint, dst: Endpoint, seg: &SegmentOut) -> Vec<u
         urgent: 0,
         options: seg.options,
     };
-    let mut bytes = Vec::with_capacity(hdr.encoded_len() + seg.payload.len());
-    hdr.encode(&mut bytes);
-    bytes.extend_from_slice(&seg.payload);
-    let ck = transport_checksum(src.addr, dst.addr, NextHeader::Tcp.code(), &bytes);
-    bytes[16..18].copy_from_slice(&ck.to_be_bytes());
-    let mut pkt = wrap_ipv6(src.addr, dst.addr, NextHeader::Tcp, bytes);
+    let mut pkt = Packet::with_headroom(&seg.payload, HEADROOM);
+    hdr.encode_into(pkt.prepend_space(hdr.encoded_len()));
+    let ck = transport_checksum(src.addr, dst.addr, NextHeader::Tcp.code(), &pkt);
+    pkt[16..18].copy_from_slice(&ck.to_be_bytes());
+    prepend_ipv6(&mut pkt, src.addr, dst.addr, NextHeader::Tcp);
     if seg.ect {
-        qpip_wire::ipv6::Ipv6Header::set_ecn_in_packet(&mut pkt, qpip_wire::ipv6::Ecn::Capable);
+        Ipv6Header::set_ecn_in_packet(&mut pkt, qpip_wire::ipv6::Ecn::Capable);
     }
     pkt
 }
 
-fn wrap_ipv6(src: Ipv6Addr, dst: Ipv6Addr, nh: NextHeader, transport: Vec<u8>) -> Vec<u8> {
-    let ip = Ipv6Header::new(src, dst, nh, transport.len() as u16);
-    let mut pkt = Vec::with_capacity(IPV6_HEADER_LEN + transport.len());
-    ip.encode(&mut pkt);
-    pkt.extend_from_slice(&transport);
-    pkt
+/// Prepends an IPv6 header in front of the transport segment currently
+/// occupying `pkt`.
+fn prepend_ipv6(pkt: &mut Packet, src: Ipv6Addr, dst: Ipv6Addr, nh: NextHeader) {
+    let ip = Ipv6Header::new(src, dst, nh, pkt.len() as u16);
+    ip.encode_into(pkt.prepend_space(IPV6_HEADER_LEN));
 }
 
 /// Decodes and checksum-verifies a packet.
@@ -97,7 +104,7 @@ fn wrap_ipv6(src: Ipv6Addr, dst: Ipv6Addr, nh: NextHeader, transport: Vec<u8>) -
 ///
 /// Propagates header parse errors; returns
 /// [`ParseWireError::BadChecksum`] when the transport checksum fails.
-pub fn decode_packet(bytes: &[u8]) -> Result<Decoded, ParseWireError> {
+pub fn decode_packet(bytes: &[u8]) -> Result<Decoded<'_>, ParseWireError> {
     let (ip, n) = Ipv6Header::parse(bytes)?;
     let seg = &bytes[n..n + usize::from(ip.payload_len)];
     match ip.next_header {
@@ -106,18 +113,14 @@ pub fn decode_packet(bytes: &[u8]) -> Result<Decoded, ParseWireError> {
                 return Err(ParseWireError::BadChecksum);
             }
             let (tcp, hl) = TcpHeader::parse(seg)?;
-            Ok(Decoded::Tcp { ip, tcp, payload: seg[hl..].to_vec() })
+            Ok(Decoded::Tcp { ip, tcp, payload: &seg[hl..] })
         }
         NextHeader::Udp => {
             if !verify_transport_checksum(ip.src, ip.dst, NextHeader::Udp.code(), seg) {
                 return Err(ParseWireError::BadChecksum);
             }
             let (udp, hl) = UdpHeader::parse(seg)?;
-            Ok(Decoded::Udp {
-                ip,
-                udp,
-                payload: seg[hl..usize::from(udp.length)].to_vec(),
-            })
+            Ok(Decoded::Udp { ip, udp, payload: &seg[hl..usize::from(udp.length)] })
         }
         NextHeader::Other(_) => Ok(Decoded::Other { ip }),
     }
@@ -198,20 +201,22 @@ mod tests {
         let mut pkt = build_udp_packet(ep(1, 1), ep(2, 2), b"data!");
         let last = pkt.len() - 1;
         pkt[last] ^= 0x40;
-        assert!(matches!(
-            decode_packet(&pkt),
-            Err(ParseWireError::BadChecksum)
-        ));
+        assert!(matches!(decode_packet(&pkt), Err(ParseWireError::BadChecksum)));
     }
 
     #[test]
     fn unknown_next_header_is_surfaced_not_dropped() {
-        let pkt = wrap_ipv6(
-            ep(1, 0).addr,
-            ep(2, 0).addr,
-            NextHeader::Other(41),
-            vec![0u8; 4],
-        );
+        let mut pkt = Packet::with_headroom(&[0u8; 4], HEADROOM);
+        prepend_ipv6(&mut pkt, ep(1, 0).addr, ep(2, 0).addr, NextHeader::Other(41));
         assert!(matches!(decode_packet(&pkt).unwrap(), Decoded::Other { .. }));
+    }
+
+    #[test]
+    fn headers_land_in_headroom_without_reallocation() {
+        let payload = vec![0x5au8; 256];
+        let pkt = build_udp_packet(ep(1, 1), ep(2, 2), &payload);
+        // link framing still fits in front without a copy
+        assert!(pkt.headroom() >= 8);
+        assert_eq!(pkt.len(), IPV6_HEADER_LEN + UDP_HEADER_LEN + payload.len());
     }
 }

@@ -225,12 +225,7 @@ impl Engine {
         self.ops.headers_built += 2; // UDP + IPv6
         self.ops.csum_bytes += (bytes.len() - 40) as u64;
         self.stats.tx_packets += 1;
-        Ok(Emit::Packet(PacketOut {
-            dst: dst.addr,
-            bytes,
-            kind: PacketKind::Udp,
-            conn: None,
-        }))
+        Ok(Emit::Packet(PacketOut { dst: dst.addr, bytes, kind: PacketKind::Udp, conn: None }))
     }
 
     // ----- TCP ---------------------------------------------------------
@@ -286,10 +281,7 @@ impl Engine {
                 return Err(EngineError::MessageTooLarge { len: data.len(), max });
             }
         }
-        let entry = self
-            .conns
-            .get_mut(&conn)
-            .ok_or(EngineError::UnknownConn(conn))?;
+        let entry = self.conns.get_mut(&conn).ok_or(EngineError::UnknownConn(conn))?;
         if !entry.tcb.can_send() {
             return Err(EngineError::ConnectionClosing(conn));
         }
@@ -303,10 +295,7 @@ impl Engine {
     ///
     /// [`EngineError::UnknownConn`] if the connection is gone.
     pub fn tcp_close(&mut self, now: SimTime, conn: ConnId) -> Result<Vec<Emit>, EngineError> {
-        let entry = self
-            .conns
-            .get_mut(&conn)
-            .ok_or(EngineError::UnknownConn(conn))?;
+        let entry = self.conns.get_mut(&conn).ok_or(EngineError::UnknownConn(conn))?;
         let segs = entry.tcb.close(&self.cfg, now, &mut self.ops);
         Ok(self.encode_segments(conn, segs))
     }
@@ -317,13 +306,9 @@ impl Engine {
     ///
     /// [`EngineError::UnknownConn`] if the connection is gone.
     pub fn tcp_abort(&mut self, _now: SimTime, conn: ConnId) -> Result<Vec<Emit>, EngineError> {
-        let mut entry = self
-            .conns
-            .remove(&conn)
-            .ok_or(EngineError::UnknownConn(conn))?;
+        let mut entry = self.conns.remove(&conn).ok_or(EngineError::UnknownConn(conn))?;
         let rst = entry.tcb.abort();
-        self.demux
-            .remove(&(entry.tcb.local(), entry.tcb.remote()));
+        self.demux.remove(&(entry.tcb.local(), entry.tcb.remote()));
         let remote = entry.tcb.remote();
         let local = entry.tcb.local();
         Ok(vec![self.encode_one(conn, local, remote, &rst)])
@@ -341,10 +326,7 @@ impl Engine {
         conn: ConnId,
         bytes: u64,
     ) -> Result<Vec<Emit>, EngineError> {
-        let entry = self
-            .conns
-            .get_mut(&conn)
-            .ok_or(EngineError::UnknownConn(conn))?;
+        let entry = self.conns.get_mut(&conn).ok_or(EngineError::UnknownConn(conn))?;
         entry.tcb.set_recv_space(bytes);
         let upd = entry.tcb.window_update(now);
         let segs: Vec<SegmentOut> = upd.into_iter().collect();
@@ -382,17 +364,18 @@ impl Engine {
                 vec![Emit::UdpDelivered {
                     port: udp.dst_port,
                     src: Endpoint::new(ip.src, udp.src_port),
-                    payload,
+                    // the one copy on the UDP receive path: borrowed view
+                    // into the wire buffer becomes the delivered datagram
+                    payload: payload.to_vec(),
                 }]
             }
             Decoded::Tcp { ip, tcp, payload } => {
-                self.ops.csum_bytes +=
-                    (usize::from(ip.payload_len)) as u64;
+                self.ops.csum_bytes += (usize::from(ip.payload_len)) as u64;
                 if ip.dst != self.local_addr {
                     self.stats.addr_drops += 1;
                     return Vec::new();
                 }
-                self.on_tcp_segment(now, &ip, &tcp, &payload)
+                self.on_tcp_segment(now, &ip, &tcp, payload)
             }
             Decoded::Other { .. } => {
                 self.stats.demux_drops += 1;
@@ -417,12 +400,9 @@ impl Engine {
                 // no connection: a SYN to a listening port spawns one
                 if tcp.flags.syn && !tcp.flags.ack && self.listeners.contains_key(&tcp.dst_port) {
                     let iss = self.next_iss();
-                    let (tcb, segs) =
-                        Tcb::accept(&self.cfg, local, remote, tcp, iss, now);
-                    let id = self.insert_conn(
-                        tcb,
-                        ConnOrigin::Passive { listener_port: tcp.dst_port },
-                    );
+                    let (tcb, segs) = Tcb::accept(&self.cfg, local, remote, tcp, iss, now);
+                    let id =
+                        self.insert_conn(tcb, ConnOrigin::Passive { listener_port: tcp.dst_port });
                     return self.encode_segments(id, segs);
                 }
                 self.stats.demux_drops += 1;
@@ -478,10 +458,7 @@ impl Engine {
         let id = ConnId(self.next_conn);
         self.next_conn += 1;
         self.demux.insert((tcb.local(), tcb.remote()), id);
-        self.conns.insert(
-            id,
-            ConnEntry { tcb, origin, established_reported: false },
-        );
+        self.conns.insert(id, ConnEntry { tcb, origin, established_reported: false });
         id
     }
 
@@ -515,9 +492,7 @@ impl Engine {
                     }
                 }
                 TcbEvent::Delivered(data) => emits.push(Emit::TcpDelivered { conn, data }),
-                TcbEvent::SendComplete(token) => {
-                    emits.push(Emit::TcpSendComplete { conn, token })
-                }
+                TcbEvent::SendComplete(token) => emits.push(Emit::TcpSendComplete { conn, token }),
                 TcbEvent::PeerClosed => emits.push(Emit::TcpPeerClosed { conn }),
                 TcbEvent::Closed => emits.push(Emit::TcpClosed { conn }),
                 TcbEvent::Reset => emits.push(Emit::TcpReset { conn }),
@@ -532,9 +507,7 @@ impl Engine {
         };
         let local = entry.tcb.local();
         let remote = entry.tcb.remote();
-        segs.iter()
-            .map(|s| self.encode_one(conn, local, remote, s))
-            .collect()
+        segs.iter().map(|s| self.encode_one(conn, local, remote, s)).collect()
     }
 
     fn encode_one(
@@ -548,11 +521,6 @@ impl Engine {
         self.ops.headers_built += 2; // TCP + IPv6
         self.ops.csum_bytes += (bytes.len() - 40) as u64;
         self.stats.tx_packets += 1;
-        Emit::Packet(PacketOut {
-            dst: remote.addr,
-            bytes,
-            kind: seg.kind,
-            conn: Some(conn),
-        })
+        Emit::Packet(PacketOut { dst: remote.addr, bytes, kind: seg.kind, conn: Some(conn) })
     }
 }

@@ -40,12 +40,8 @@ pub fn fragment_packet(packet: &[u8], wire_mtu: usize, id: u32) -> Vec<Vec<u8>> 
     while offset < payload.len() {
         let take = unit.min(payload.len() - offset);
         let more = offset + take < payload.len();
-        let frag = FragmentHeader {
-            next_header: ip.next_header.code(),
-            offset: offset as u32,
-            more,
-            id,
-        };
+        let frag =
+            FragmentHeader { next_header: ip.next_header.code(), offset: offset as u32, more, id };
         let mut pkt = Vec::with_capacity(IPV6_HEADER_LEN + FRAGMENT_HEADER_LEN + take);
         let hdr = Ipv6Header {
             next_header: NextHeader::Other(FRAGMENT_NEXT_HEADER),
@@ -183,11 +179,7 @@ impl Reassembler {
 
         // capacity pressure: evict the oldest partial
         if self.pending.len() > Self::MAX_PENDING {
-            if let Some((&victim, _)) = self
-                .pending
-                .iter()
-                .min_by_key(|(_, p)| p.arrival_order)
-            {
+            if let Some((&victim, _)) = self.pending.iter().min_by_key(|(_, p)| p.arrival_order) {
                 self.pending.remove(&victim);
                 self.evicted += 1;
             }
@@ -208,7 +200,7 @@ mod tests {
 
     fn big_packet(len: usize) -> Vec<u8> {
         let payload: Vec<u8> = (0..len).map(|i| (i % 251) as u8).collect();
-        build_udp_packet(Endpoint::new(addr(1), 7), Endpoint::new(addr(2), 8), &payload)
+        build_udp_packet(Endpoint::new(addr(1), 7), Endpoint::new(addr(2), 8), &payload).into_vec()
     }
 
     #[test]

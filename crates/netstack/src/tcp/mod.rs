@@ -9,7 +9,7 @@ pub mod tcb;
 pub use congestion::Congestion;
 pub use rtt::RttEstimator;
 pub use sendbuf::{SegmentData, SendBuffer};
-pub use tcb::{SegmentOut, TcbEvent, Tcb, TcpState};
+pub use tcb::{SegmentOut, Tcb, TcbEvent, TcpState};
 
 #[cfg(test)]
 mod tests {
@@ -20,9 +20,7 @@ mod tests {
     use qpip_wire::tcp::{SeqNum, TcpHeader, TcpOptions};
 
     use super::tcb::{SegmentOut, Tcb, TcbEvent, TcpState};
-    use crate::types::{
-        Endpoint, NetConfig, OpCounters, PacketKind, SendToken,
-    };
+    use crate::types::{Endpoint, NetConfig, OpCounters, PacketKind, SendToken};
     use std::net::Ipv6Addr;
 
     fn ep(port: u16) -> Endpoint {
@@ -57,22 +55,15 @@ mod tests {
         fn established(cfg: NetConfig) -> Pair {
             let now = SimTime::ZERO;
             let mut ops = OpCounters::new();
-            let (mut client, syns) =
-                Tcb::connect(&cfg, ep(1), ep(2), SeqNum(1000), now);
+            let (mut client, syns) = Tcb::connect(&cfg, ep(1), ep(2), SeqNum(1000), now);
             assert_eq!(syns.len(), 1);
             let syn_hdr = to_header(&syns[0], 1, 2);
             let (mut server, synacks) =
                 Tcb::accept(&cfg, ep(2), ep(1), &syn_hdr, SeqNum(5000), now);
-            let (acks, ev) = client.on_segment(
-                &cfg,
-                &to_header(&synacks[0], 2, 1),
-                &[],
-                now,
-                &mut ops,
-            );
+            let (acks, ev) =
+                client.on_segment(&cfg, &to_header(&synacks[0], 2, 1), &[], now, &mut ops);
             assert!(ev.contains(&TcbEvent::Established));
-            let (_, ev) =
-                server.on_segment(&cfg, &to_header(&acks[0], 1, 2), &[], now, &mut ops);
+            let (_, ev) = server.on_segment(&cfg, &to_header(&acks[0], 1, 2), &[], now, &mut ops);
             assert!(ev.contains(&TcbEvent::Established));
             assert_eq!(client.state(), TcpState::Established);
             assert_eq!(server.state(), TcpState::Established);
@@ -134,8 +125,7 @@ mod tests {
         let segs = p.client.send(&cfg, vec![7u8; 4096], SendToken(42), p.now, &mut p.ops);
         assert_eq!(segs.len(), 1, "one message, one segment");
         assert_eq!(segs[0].payload.len(), 4096);
-        let (acks, evs) =
-            Pair::deliver(&cfg, 1, 2, &mut p.server, &segs, p.now, &mut p.ops);
+        let (acks, evs) = Pair::deliver(&cfg, 1, 2, &mut p.server, &segs, p.now, &mut p.ops);
         assert!(matches!(&evs[..], [TcbEvent::Delivered(d)] if d.len() == 4096));
         assert_eq!(acks.len(), 1, "immediate ack policy");
         assert_eq!(acks[0].kind, PacketKind::TcpAck);
@@ -179,15 +169,13 @@ mod tests {
         let mut p = Pair::established(cfg.clone());
         let mss = cfg.max_tcp_payload();
         let total = 64 * mss;
-        let mut segs =
-            p.client.send(&cfg, vec![0u8; total], SendToken(1), p.now, &mut p.ops);
+        let mut segs = p.client.send(&cfg, vec![0u8; total], SendToken(1), p.now, &mut p.ops);
         let mut delivered = 0usize;
         let mut rounds = 0;
         while delivered < total && rounds < 100 {
             rounds += 1;
             p.tick(SimDuration::from_micros(100));
-            let (acks, evs) =
-                Pair::deliver(&cfg, 1, 2, &mut p.server, &segs, p.now, &mut p.ops);
+            let (acks, evs) = Pair::deliver(&cfg, 1, 2, &mut p.server, &segs, p.now, &mut p.ops);
             delivered += evs
                 .iter()
                 .map(|e| match e {
@@ -196,8 +184,7 @@ mod tests {
                 })
                 .sum::<usize>();
             p.tick(SimDuration::from_micros(100));
-            let (next, _) =
-                Pair::deliver(&cfg, 2, 1, &mut p.client, &acks, p.now, &mut p.ops);
+            let (next, _) = Pair::deliver(&cfg, 2, 1, &mut p.client, &acks, p.now, &mut p.ops);
             segs = next;
         }
         assert_eq!(delivered, total, "after {rounds} rounds");
@@ -208,19 +195,10 @@ mod tests {
     fn out_of_order_segment_is_dropped_and_reacked() {
         let mut p = Pair::established(qpip_cfg());
         let cfg = p.cfg.clone();
-        let mut segs =
-            p.client.send(&cfg, vec![1u8; 100], SendToken(1), p.now, &mut p.ops);
+        let mut segs = p.client.send(&cfg, vec![1u8; 100], SendToken(1), p.now, &mut p.ops);
         segs.extend(p.client.send(&cfg, vec![2u8; 100], SendToken(2), p.now, &mut p.ops));
         // deliver only the second segment: out of order
-        let (acks, evs) = Pair::deliver(
-            &cfg,
-            1,
-            2,
-            &mut p.server,
-            &segs[1..],
-            p.now,
-            &mut p.ops,
-        );
+        let (acks, evs) = Pair::deliver(&cfg, 1, 2, &mut p.server, &segs[1..], p.now, &mut p.ops);
         assert!(evs.is_empty(), "no delivery without reassembly (§4.1)");
         assert_eq!(p.server.ooo_drops(), 1);
         assert_eq!(acks.len(), 1, "duplicate ack");
@@ -245,8 +223,7 @@ mod tests {
         assert_eq!(rexmit[0].payload, segs[0].payload);
         assert_eq!(p.client.retransmit_count(), 1);
         // retransmission arrives and completes the exchange
-        let (acks, evs) =
-            Pair::deliver(&cfg, 1, 2, &mut p.server, &rexmit, p.now, &mut p.ops);
+        let (acks, evs) = Pair::deliver(&cfg, 1, 2, &mut p.server, &rexmit, p.now, &mut p.ops);
         assert!(matches!(&evs[..], [TcbEvent::Delivered(_)]));
         let (_, evs) = Pair::deliver(&cfg, 2, 1, &mut p.client, &acks, p.now, &mut p.ops);
         assert_eq!(evs, vec![TcbEvent::SendComplete(SendToken(5))]);
@@ -267,8 +244,7 @@ mod tests {
         assert!(evs.is_empty());
         assert!(dup_acks.len() >= 3);
         // feed dup ACKs back: the third triggers fast retransmit
-        let (out, _) =
-            Pair::deliver(&cfg, 2, 1, &mut p.client, &dup_acks, p.now, &mut p.ops);
+        let (out, _) = Pair::deliver(&cfg, 2, 1, &mut p.client, &dup_acks, p.now, &mut p.ops);
         let rexmit: Vec<_> = out.iter().filter(|s| s.is_retransmit).collect();
         assert_eq!(rexmit.len(), 1);
         assert_eq!(rexmit[0].seq, segs[0].seq);
@@ -289,8 +265,7 @@ mod tests {
         // server closes its half
         let fins2 = p.server.close(&cfg, p.now, &mut p.ops);
         assert_eq!(p.server.state(), TcpState::LastAck);
-        let (acks2, evs) =
-            Pair::deliver(&cfg, 2, 1, &mut p.client, &fins2, p.now, &mut p.ops);
+        let (acks2, evs) = Pair::deliver(&cfg, 2, 1, &mut p.client, &fins2, p.now, &mut p.ops);
         assert!(evs.contains(&TcbEvent::PeerClosed));
         assert_eq!(p.client.state(), TcpState::TimeWait);
         let (_, evs) = Pair::deliver(&cfg, 1, 2, &mut p.server, &acks2, p.now, &mut p.ops);
@@ -324,8 +299,7 @@ mod tests {
         let rst = p.client.abort();
         assert!(rst.flags.rst);
         assert_eq!(p.client.state(), TcpState::Closed);
-        let (out, evs) =
-            Pair::deliver(&cfg, 1, 2, &mut p.server, &[rst], p.now, &mut p.ops);
+        let (out, evs) = Pair::deliver(&cfg, 1, 2, &mut p.server, &[rst], p.now, &mut p.ops);
         assert!(out.is_empty());
         assert_eq!(evs, vec![TcbEvent::Reset]);
         assert_eq!(p.server.state(), TcpState::Closed);
@@ -365,14 +339,11 @@ mod tests {
         let mut p = Pair::established(qpip_cfg());
         let cfg = p.cfg.clone();
         for i in 0..20u64 {
-            let segs =
-                p.client.send(&cfg, vec![0u8; 64], SendToken(i), p.now, &mut p.ops);
+            let segs = p.client.send(&cfg, vec![0u8; 64], SendToken(i), p.now, &mut p.ops);
             p.tick(SimDuration::from_micros(50));
-            let (acks, _) =
-                Pair::deliver(&cfg, 1, 2, &mut p.server, &segs, p.now, &mut p.ops);
+            let (acks, _) = Pair::deliver(&cfg, 1, 2, &mut p.server, &segs, p.now, &mut p.ops);
             p.tick(SimDuration::from_micros(50));
-            let (_, evs) =
-                Pair::deliver(&cfg, 2, 1, &mut p.client, &acks, p.now, &mut p.ops);
+            let (_, evs) = Pair::deliver(&cfg, 2, 1, &mut p.client, &acks, p.now, &mut p.ops);
             assert!(evs.iter().any(|e| matches!(e, TcbEvent::SendComplete(_))));
         }
         let srtt = p.client.srtt().expect("sampled").as_micros_f64();
@@ -423,13 +394,11 @@ mod tests {
         let now = SimTime::ZERO;
         let mut ops = OpCounters::new();
         // ISS close to the top of the sequence space
-        let (mut client, syns) =
-            Tcb::connect(&cfg, ep(1), ep(2), SeqNum(u32::MAX - 2000), now);
+        let (mut client, syns) = Tcb::connect(&cfg, ep(1), ep(2), SeqNum(u32::MAX - 2000), now);
         let syn_hdr = to_header(&syns[0], 1, 2);
         let (mut server, synacks) =
             Tcb::accept(&cfg, ep(2), ep(1), &syn_hdr, SeqNum(u32::MAX - 5000), now);
-        let (acks, _) =
-            client.on_segment(&cfg, &to_header(&synacks[0], 2, 1), &[], now, &mut ops);
+        let (acks, _) = client.on_segment(&cfg, &to_header(&synacks[0], 2, 1), &[], now, &mut ops);
         server.on_segment(&cfg, &to_header(&acks[0], 1, 2), &[], now, &mut ops);
         assert_eq!(client.state(), TcpState::Established);
 
@@ -437,8 +406,7 @@ mod tests {
         let mut delivered = 0usize;
         for i in 0..10u64 {
             let segs = client.send(&cfg, vec![i as u8; 1000], SendToken(i), now, &mut ops);
-            let (acks, evs) =
-                Pair::deliver(&cfg, 1, 2, &mut server, &segs, now, &mut ops);
+            let (acks, evs) = Pair::deliver(&cfg, 1, 2, &mut server, &segs, now, &mut ops);
             for e in &evs {
                 if let TcbEvent::Delivered(d) = e {
                     assert_eq!(d.len(), 1000);
@@ -490,12 +458,10 @@ mod tests {
         assert_eq!(p.client.state(), TcpState::FinWait1);
         assert_eq!(p.server.state(), TcpState::FinWait1);
         // FINs cross
-        let (acks_c, evs) =
-            Pair::deliver(&cfg, 2, 1, &mut p.client, &fin_s, p.now, &mut p.ops);
+        let (acks_c, evs) = Pair::deliver(&cfg, 2, 1, &mut p.client, &fin_s, p.now, &mut p.ops);
         assert!(evs.contains(&TcbEvent::PeerClosed));
         assert_eq!(p.client.state(), TcpState::Closing);
-        let (acks_s, evs) =
-            Pair::deliver(&cfg, 1, 2, &mut p.server, &fin_c, p.now, &mut p.ops);
+        let (acks_s, evs) = Pair::deliver(&cfg, 1, 2, &mut p.server, &fin_c, p.now, &mut p.ops);
         assert!(evs.contains(&TcbEvent::PeerClosed));
         assert_eq!(p.server.state(), TcpState::Closing);
         // each side's ACK of the other's FIN finishes the close
@@ -544,14 +510,12 @@ mod tests {
         // peer without ECN: SYN-ACK must not confirm
         let off = qpip_cfg();
         let syn_hdr = to_header(&syns[0], 1, 2);
-        let (srv, synacks) =
-            Tcb::accept(&off, ep(2), ep(1), &syn_hdr, SeqNum(100), SimTime::ZERO);
+        let (srv, synacks) = Tcb::accept(&off, ep(2), ep(1), &syn_hdr, SeqNum(100), SimTime::ZERO);
         assert!(!synacks[0].flags.ece);
         assert!(!srv.ecn_negotiated());
 
         // peer with ECN: confirmed both ends
-        let (srv, synacks) =
-            Tcb::accept(&on, ep(2), ep(1), &syn_hdr, SeqNum(100), SimTime::ZERO);
+        let (srv, synacks) = Tcb::accept(&on, ep(2), ep(1), &syn_hdr, SeqNum(100), SimTime::ZERO);
         assert!(synacks[0].flags.ece && !synacks[0].flags.cwr);
         assert!(srv.ecn_negotiated());
         let (mut client, _) = Tcb::connect(&on, ep(1), ep(2), SeqNum(0), SimTime::ZERO);
@@ -576,15 +540,19 @@ mod tests {
         assert!(segs[0].ect, "negotiated data segments are ECT");
         let hdr = to_header(&segs[0], 1, 2);
         let (acks, _) =
-            p.server
-                .on_segment_marked(&cfg, &hdr, &segs[0].payload, true, p.now, &mut p.ops);
+            p.server.on_segment_marked(&cfg, &hdr, &segs[0].payload, true, p.now, &mut p.ops);
         // delayed-ack policy may withhold: force with a second segment
         let acks = if acks.is_empty() {
             let segs2 = p.client.send(&cfg, vec![2; 500], SendToken(2), p.now, &mut p.ops);
             let hdr2 = to_header(&segs2[0], 1, 2);
-            let (a, _) = p
-                .server
-                .on_segment_marked(&cfg, &hdr2, &segs2[0].payload, false, p.now, &mut p.ops);
+            let (a, _) = p.server.on_segment_marked(
+                &cfg,
+                &hdr2,
+                &segs2[0].payload,
+                false,
+                p.now,
+                &mut p.ops,
+            );
             a
         } else {
             acks
@@ -603,13 +571,11 @@ mod tests {
         // CWR clears the receiver's echo
         let cwr_seg = all.iter().find(|s| s.flags.cwr).unwrap();
         let hdr = to_header(cwr_seg, 1, 2);
-        p.server
-            .on_segment_marked(&cfg, &hdr, &cwr_seg.payload, false, p.now, &mut p.ops);
+        p.server.on_segment_marked(&cfg, &hdr, &cwr_seg.payload, false, p.now, &mut p.ops);
         let segs4 = p.client.send(&cfg, vec![4; 500], SendToken(4), p.now, &mut p.ops);
         let hdr4 = to_header(&segs4[0], 1, 2);
         let (acks, _) =
-            p.server
-                .on_segment_marked(&cfg, &hdr4, &segs4[0].payload, false, p.now, &mut p.ops);
+            p.server.on_segment_marked(&cfg, &hdr4, &segs4[0].payload, false, p.now, &mut p.ops);
         if let Some(a) = acks.first() {
             assert!(!a.flags.ece, "echo stopped after CWR");
         }
@@ -624,8 +590,7 @@ mod tests {
         assert!(!segs[0].ect);
         let hdr = to_header(&segs[0], 1, 2);
         let (acks, _) =
-            p.server
-                .on_segment_marked(&cfg, &hdr, &segs[0].payload, true, p.now, &mut p.ops);
+            p.server.on_segment_marked(&cfg, &hdr, &segs[0].payload, true, p.now, &mut p.ops);
         assert!(acks.iter().all(|a| !a.flags.ece));
         Pair::deliver(&cfg, 2, 1, &mut p.client, &acks, p.now, &mut p.ops);
         assert_eq!(p.client.ecn_reductions(), 0);

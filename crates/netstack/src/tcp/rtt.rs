@@ -71,8 +71,7 @@ impl RttEstimator {
             self.srtt_x8 = (self.srtt_x8 as i64 + delta).max(1) as u64;
             // rttvar += (|delta| - rttvar)/4 -> rttvar_x4 += |delta| - rttvar
             let rttvar = self.rttvar_x4 / 4;
-            self.rttvar_x4 =
-                (self.rttvar_x4 as i64 + (delta.abs() - rttvar as i64)).max(1) as u64;
+            self.rttvar_x4 = (self.rttvar_x4 as i64 + (delta.abs() - rttvar as i64)).max(1) as u64;
         }
         // The BSD-derived firmware performs this block with genuine
         // multiply/divide instructions (scale/unscale, RTO clamp and the
@@ -82,9 +81,7 @@ impl RttEstimator {
         self.backoff_shift = 0;
         self.samples += 1;
         let rto_us = self.srtt_x8 / 8 + self.rttvar_x4; // srtt + 4*rttvar
-        self.rto = SimDuration::from_micros_f64(rto_us as f64)
-            .max(self.min_rto)
-            .min(MAX_RTO);
+        self.rto = SimDuration::from_micros_f64(rto_us as f64).max(self.min_rto).min(MAX_RTO);
     }
 
     /// Current retransmission timeout (with any exponential backoff).
@@ -95,16 +92,12 @@ impl RttEstimator {
     /// Exponential backoff after a retransmission timeout fires.
     pub fn backoff(&mut self) {
         self.backoff_shift = (self.backoff_shift + 1).min(12);
-        self.rto = self
-            .rto
-            .saturating_mul(2)
-            .min(MAX_RTO);
+        self.rto = self.rto.saturating_mul(2).min(MAX_RTO);
     }
 
     /// Smoothed RTT, if seeded.
     pub fn srtt(&self) -> Option<SimDuration> {
-        self.seeded
-            .then(|| SimDuration::from_micros_f64((self.srtt_x8 / 8) as f64))
+        self.seeded.then(|| SimDuration::from_micros_f64((self.srtt_x8 / 8) as f64))
     }
 
     /// Number of samples consumed.

@@ -53,12 +53,7 @@ pub struct SendBuffer {
 impl SendBuffer {
     /// Creates an empty buffer whose first byte will carry `initial_seq`.
     pub fn new(policy: SegmentationPolicy, initial_seq: SeqNum) -> Self {
-        SendBuffer {
-            chunks: VecDeque::new(),
-            policy,
-            una: initial_seq,
-            nxt: initial_seq,
-        }
+        SendBuffer { chunks: VecDeque::new(), policy, una: initial_seq, nxt: initial_seq }
     }
 
     /// First unacknowledged sequence number.
@@ -197,9 +192,7 @@ impl SendBuffer {
     }
 
     fn chunk_containing(&self, seq: SeqNum) -> Option<&Chunk> {
-        self.chunks
-            .iter()
-            .find(|c| c.start.le(seq) && seq.lt(c.end()))
+        self.chunks.iter().find(|c| c.start.le(seq) && seq.lt(c.end()))
     }
 
     /// Copies `len` bytes starting at `seq`, crossing chunk boundaries.

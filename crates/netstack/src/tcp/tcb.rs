@@ -204,11 +204,7 @@ impl Tcb {
 
     fn new_common(cfg: &NetConfig, local: Endpoint, remote: Endpoint, iss: SeqNum) -> Tcb {
         let rcv_space = cfg.recv_buffer as u64;
-        let rcv_wscale = if cfg.window_scale {
-            wscale_for(rcv_space)
-        } else {
-            0
-        };
+        let rcv_wscale = if cfg.window_scale { wscale_for(rcv_space) } else { 0 };
         Tcb {
             state: TcpState::Closed,
             local,
@@ -376,7 +372,12 @@ impl Tcb {
 
     /// Initiates a graceful close; any queued data is sent first, then a
     /// FIN.
-    pub fn close(&mut self, cfg: &NetConfig, now: SimTime, ops: &mut OpCounters) -> Vec<SegmentOut> {
+    pub fn close(
+        &mut self,
+        cfg: &NetConfig,
+        now: SimTime,
+        ops: &mut OpCounters,
+    ) -> Vec<SegmentOut> {
         if self.fin_queued || matches!(self.state, TcpState::Closed | TcpState::TimeWait) {
             return Vec::new();
         }
@@ -511,8 +512,7 @@ impl Tcb {
             let f = hdr.flags;
             f.ack && !f.syn && !f.fin && !f.rst && !f.urg
         };
-        let window_unchanged =
-            (u64::from(hdr.window) << self.snd_wscale) == self.snd_wnd;
+        let window_unchanged = (u64::from(hdr.window) << self.snd_wscale) == self.snd_wnd;
         if self.state == TcpState::Established
             && plain_flags
             && hdr.seq == self.rcv_nxt
@@ -610,8 +610,7 @@ impl Tcb {
                         let sample_us = now_us.wrapping_sub(tsecr);
                         if sample_us < 60_000_000 {
                             let sent = SimTime::from_picos(
-                                now.as_picos()
-                                    .saturating_sub(u64::from(sample_us) * 1_000_000),
+                                now.as_picos().saturating_sub(u64::from(sample_us) * 1_000_000),
                             );
                             self.rtt.sample(sent, now, ops);
                         }
@@ -689,10 +688,7 @@ impl Tcb {
         events: &mut Vec<TcbEvent>,
         _ops: &mut OpCounters,
     ) {
-        if !matches!(
-            self.state,
-            TcpState::Established | TcpState::FinWait1 | TcpState::FinWait2
-        ) {
+        if !matches!(self.state, TcpState::Established | TcpState::FinWait1 | TcpState::FinWait2) {
             return;
         }
         let seg_end = hdr.seq + payload.len() as u32;
@@ -927,10 +923,7 @@ impl Tcb {
     }
 
     fn make_ack(&mut self, now: SimTime, kind: PacketKind) -> SegmentOut {
-        let flags = TcpFlags {
-            ece: self.ecn_on && self.ece_pending,
-            ..TcpFlags::ACK
-        };
+        let flags = TcpFlags { ece: self.ecn_on && self.ece_pending, ..TcpFlags::ACK };
         SegmentOut {
             seq: self.sendbuf.nxt() + u32::from(self.fin_sent_and_counted()),
             ack: self.rcv_nxt,
@@ -1024,9 +1017,7 @@ impl Tcb {
     }
 
     fn update_snd_wnd(&mut self, hdr: &TcpHeader) {
-        if self.snd_wl1.lt(hdr.seq)
-            || (self.snd_wl1 == hdr.seq && self.snd_wl2.le(hdr.ack))
-        {
+        if self.snd_wl1.lt(hdr.seq) || (self.snd_wl1 == hdr.seq && self.snd_wl2.le(hdr.ack)) {
             self.snd_wnd = u64::from(hdr.window) << self.snd_wscale;
             self.snd_wl1 = hdr.seq;
             self.snd_wl2 = hdr.ack;
@@ -1034,9 +1025,7 @@ impl Tcb {
     }
 
     fn usable_window(&self, in_flight: u64) -> u64 {
-        self.snd_wnd
-            .min(self.congestion.cwnd())
-            .saturating_sub(in_flight)
+        self.snd_wnd.min(self.congestion.cwnd()).saturating_sub(in_flight)
     }
 
     fn advertised_window(&self) -> u16 {
@@ -1097,4 +1086,3 @@ fn wscale_for(space: u64) -> u8 {
     }
     shift
 }
-

@@ -5,6 +5,7 @@ use core::fmt;
 use std::net::Ipv6Addr;
 
 use qpip_sim::time::SimDuration;
+use qpip_wire::packet::Packet;
 
 /// A transport endpoint: IPv6 address + port.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -161,8 +162,8 @@ pub enum PacketKind {
 pub struct PacketOut {
     /// Destination IPv6 address (link resolution is the caller's job).
     pub dst: Ipv6Addr,
-    /// The complete IPv6 packet bytes.
-    pub bytes: Vec<u8>,
+    /// The complete IPv6 packet bytes (with transmit headroom in front).
+    pub bytes: Packet,
     /// Cost-model classification.
     pub kind: PacketKind,
     /// Connection this packet belongs to, when TCP.

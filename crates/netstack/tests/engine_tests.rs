@@ -6,9 +6,7 @@ use std::collections::VecDeque;
 use std::net::Ipv6Addr;
 
 use qpip_netstack::engine::{Engine, EngineError};
-use qpip_netstack::types::{
-    ConnId, Emit, Endpoint, NetConfig, PacketKind, SendToken,
-};
+use qpip_netstack::types::{ConnId, Emit, Endpoint, NetConfig, PacketKind, SendToken};
 use qpip_sim::time::{SimDuration, SimTime};
 
 fn addr(n: u16) -> Ipv6Addr {
@@ -22,7 +20,7 @@ struct Wire {
     b: Engine,
     now: SimTime,
     /// (to_b, bytes)
-    queue: VecDeque<(bool, Vec<u8>)>,
+    queue: VecDeque<(bool, qpip_wire::Packet)>,
     events_a: Vec<Emit>,
     events_b: Vec<Emit>,
     /// Indices of queued packets to drop (testing loss), consumed once.
@@ -85,10 +83,7 @@ impl Wire {
 
     /// Fires due timers on both sides and re-runs the wire.
     fn fire_timers(&mut self) {
-        let deadline = [self.a.next_deadline(), self.b.next_deadline()]
-            .into_iter()
-            .flatten()
-            .min();
+        let deadline = [self.a.next_deadline(), self.b.next_deadline()].into_iter().flatten().min();
         if let Some(d) = deadline {
             self.now = self.now.max(d);
             let ea = self.a.on_timer(self.now);
@@ -148,10 +143,7 @@ fn bulk_transfer_delivers_bytes_exactly_once_in_order() {
     for i in 0..50u32 {
         let msg = vec![(i % 251) as u8; 1000 + (i as usize % 500)];
         expected.extend_from_slice(&msg);
-        let emits = w
-            .a
-            .tcp_send(w.now, ca, msg, SendToken(u64::from(i)))
-            .unwrap();
+        let emits = w.a.tcp_send(w.now, ca, msg, SendToken(u64::from(i))).unwrap();
         w.absorb(true, emits);
         w.run();
     }
@@ -238,10 +230,7 @@ fn graceful_close_reaps_both_connections() {
     let emits = w.a.tcp_close(w.now, ca).unwrap();
     w.absorb(true, emits);
     w.run();
-    assert!(w
-        .events_b
-        .iter()
-        .any(|e| matches!(e, Emit::TcpPeerClosed { conn } if *conn == cb)));
+    assert!(w.events_b.iter().any(|e| matches!(e, Emit::TcpPeerClosed { conn } if *conn == cb)));
     let emits = w.b.tcp_close(w.now, cb).unwrap();
     w.absorb(false, emits);
     w.run();
@@ -258,10 +247,7 @@ fn abort_sends_rst_and_peer_reports_reset() {
     let emits = w.a.tcp_abort(w.now, ca).unwrap();
     w.absorb(true, emits);
     w.run();
-    assert!(w
-        .events_b
-        .iter()
-        .any(|e| matches!(e, Emit::TcpReset { conn } if *conn == cb)));
+    assert!(w.events_b.iter().any(|e| matches!(e, Emit::TcpReset { conn } if *conn == cb)));
     assert_eq!(w.a.conn_count(), 0);
     assert_eq!(w.b.conn_count(), 0);
 }
@@ -270,17 +256,11 @@ fn abort_sends_rst_and_peer_reports_reset() {
 fn udp_send_requires_binding_and_size_limit() {
     let mut e = Engine::new(NetConfig::qpip(9000), addr(1));
     let dst = Endpoint::new(addr(2), 700);
-    assert_eq!(
-        e.udp_send(99, dst, b"x").unwrap_err(),
-        EngineError::PortNotBound(99)
-    );
+    assert_eq!(e.udp_send(99, dst, b"x").unwrap_err(), EngineError::PortNotBound(99));
     e.udp_bind(99).unwrap();
     assert!(e.udp_send(99, dst, b"x").is_ok());
     let too_big = vec![0u8; 9000];
-    assert!(matches!(
-        e.udp_send(99, dst, &too_big),
-        Err(EngineError::MessageTooLarge { .. })
-    ));
+    assert!(matches!(e.udp_send(99, dst, &too_big), Err(EngineError::MessageTooLarge { .. })));
 }
 
 #[test]

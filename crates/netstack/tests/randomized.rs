@@ -1,13 +1,17 @@
-//! Property tests: TCP's end-to-end invariants must hold under
-//! arbitrary packet loss, for both segmentation policies.
+//! Randomized tests: TCP's end-to-end invariants must hold under
+//! arbitrary packet loss, for both segmentation policies. Loss patterns
+//! and message sizes come from a seeded [`SplitMix64`] stream so every
+//! failure reproduces exactly.
 
 use std::collections::VecDeque;
 use std::net::Ipv6Addr;
 
-use proptest::prelude::*;
 use qpip_netstack::engine::Engine;
 use qpip_netstack::types::{Emit, Endpoint, NetConfig, SendToken};
+use qpip_sim::rng::SplitMix64;
 use qpip_sim::time::{SimDuration, SimTime};
+
+const CASES: usize = 24;
 
 fn addr(n: u16) -> Ipv6Addr {
     Ipv6Addr::new(0xfc00, 0, 0, 0, 0, 0, 0, n)
@@ -17,7 +21,7 @@ struct LossyWire {
     a: Engine,
     b: Engine,
     now: SimTime,
-    queue: VecDeque<(bool, Vec<u8>)>,
+    queue: VecDeque<(bool, qpip_wire::Packet)>,
     /// Drop decision per transmitted packet, cycled.
     losses: Vec<bool>,
     sent: usize,
@@ -81,10 +85,7 @@ impl LossyWire {
     }
 
     fn fire_timers(&mut self) -> bool {
-        let next = [self.a.next_deadline(), self.b.next_deadline()]
-            .into_iter()
-            .flatten()
-            .min();
+        let next = [self.a.next_deadline(), self.b.next_deadline()].into_iter().flatten().min();
         let Some(d) = next else { return false };
         self.now = self.now.max(d);
         let ea = self.a.on_timer(self.now);
@@ -127,11 +128,7 @@ fn run_transfer(cfg: NetConfig, messages: Vec<Vec<u8>>, losses: Vec<bool>) {
             break;
         }
     }
-    assert_eq!(
-        w.delivered.len(),
-        expected.len(),
-        "all bytes delivered despite loss"
-    );
+    assert_eq!(w.delivered.len(), expected.len(), "all bytes delivered despite loss");
     assert_eq!(w.delivered, expected, "in order, exactly once");
     // completions arrive once per token, in order
     let mut want: Vec<u64> = Vec::new();
@@ -141,42 +138,42 @@ fn run_transfer(cfg: NetConfig, messages: Vec<Vec<u8>>, losses: Vec<bool>) {
     assert_eq!(w.completions, want, "completions in order, no duplicates");
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
+// Loss vectors stay bounded below TCP's retry-exhaustion limit: ~15
+// consecutive losses legitimately reset the connection (MAX_RETRIES),
+// which is correct behaviour but not the invariant under test.
+fn arb_losses(r: &mut SplitMix64) -> Vec<bool> {
+    (0..r.range_usize(0, 13)).map(|_| r.flip()).collect()
+}
 
-    #[test]
-    fn qpip_message_mode_survives_arbitrary_loss(
-        sizes in proptest::collection::vec(1usize..4000, 1..12),
-        // bounded below TCP's retry-exhaustion limit: ~15 consecutive
-        // losses legitimately reset the connection (MAX_RETRIES), which
-        // is correct behaviour but not the invariant under test
-        losses in proptest::collection::vec(any::<bool>(), 0..13),
-    ) {
-        let messages: Vec<Vec<u8>> = sizes
-            .iter()
-            .enumerate()
-            .map(|(i, &s)| vec![(i % 256) as u8; s])
+#[test]
+fn qpip_message_mode_survives_arbitrary_loss() {
+    let mut r = SplitMix64::new(0x0e7_0001);
+    for _ in 0..CASES {
+        let messages: Vec<Vec<u8>> = (0..r.range_usize(1, 12))
+            .map(|i| vec![(i % 256) as u8; r.range_usize(1, 4000)])
             .collect();
+        let losses = arb_losses(&mut r);
         run_transfer(NetConfig::qpip(16 * 1024), messages, losses);
     }
+}
 
-    #[test]
-    fn host_stream_mode_survives_arbitrary_loss(
-        sizes in proptest::collection::vec(1usize..5000, 1..10),
-        losses in proptest::collection::vec(any::<bool>(), 0..13),
-    ) {
-        let messages: Vec<Vec<u8>> = sizes
-            .iter()
-            .enumerate()
-            .map(|(i, &s)| vec![(255 - i % 256) as u8; s])
+#[test]
+fn host_stream_mode_survives_arbitrary_loss() {
+    let mut r = SplitMix64::new(0x0e7_0002);
+    for _ in 0..CASES {
+        let messages: Vec<Vec<u8>> = (0..r.range_usize(1, 10))
+            .map(|i| vec![(255 - i % 256) as u8; r.range_usize(1, 5000)])
             .collect();
+        let losses = arb_losses(&mut r);
         run_transfer(NetConfig::host(1500), messages, losses);
     }
+}
 
-    #[test]
-    fn lossless_transfer_never_retransmits(
-        sizes in proptest::collection::vec(1usize..2000, 1..8),
-    ) {
+#[test]
+fn lossless_transfer_never_retransmits() {
+    let mut r = SplitMix64::new(0x0e7_0003);
+    for _ in 0..CASES {
+        let sizes: Vec<usize> = (0..r.range_usize(1, 8)).map(|_| r.range_usize(1, 2000)).collect();
         let cfg = NetConfig::qpip(16 * 1024);
         let mut w = LossyWire::new(cfg, vec![false]);
         w.b.tcp_listen(80).unwrap();
@@ -184,14 +181,11 @@ proptest! {
         w.absorb(true, emits);
         w.drain();
         for (i, &s) in sizes.iter().enumerate() {
-            let emits = w
-                .a
-                .tcp_send(w.now, ca, vec![7; s], SendToken(i as u64))
-                .unwrap();
+            let emits = w.a.tcp_send(w.now, ca, vec![7; s], SendToken(i as u64)).unwrap();
             w.absorb(true, emits);
             w.drain();
         }
-        prop_assert_eq!(w.a.retransmissions(), 0);
-        prop_assert_eq!(w.completions.len(), sizes.len());
+        assert_eq!(w.a.retransmissions(), 0);
+        assert_eq!(w.completions.len(), sizes.len());
     }
 }

@@ -127,9 +127,7 @@ impl ConventionalNic {
             + SimDuration::from_nanos(params::PCI_DMA_SETUP_NS);
         // interrupt moderation: a sparse stream interrupts per frame; a
         // dense stream interrupts once per coalesce_pkts
-        let dense = self
-            .last_rx
-            .is_some_and(|t| now.duration_since(t) < self.cfg.coalesce_gap);
+        let dense = self.last_rx.is_some_and(|t| now.duration_since(t) < self.cfg.coalesce_gap);
         self.last_rx = Some(now);
         self.pkts_since_intr += 1;
         let interrupt = !dense || self.pkts_since_intr >= self.cfg.coalesce_pkts;

@@ -12,9 +12,7 @@ use std::collections::{HashMap, VecDeque};
 use std::net::Ipv6Addr;
 
 use qpip_netstack::engine::Engine;
-use qpip_netstack::types::{
-    ConnId, Emit, Endpoint, NetConfig, PacketKind, PacketOut, SendToken,
-};
+use qpip_netstack::types::{ConnId, Emit, Endpoint, NetConfig, PacketKind, PacketOut, SendToken};
 use qpip_sim::params;
 use qpip_sim::resource::{BandwidthPipe, SerialResource};
 use qpip_sim::time::{Clock, Cycles, SimDuration, SimTime};
@@ -35,8 +33,8 @@ pub enum NicOutput {
         at: SimTime,
         /// Destination IPv6 address (fabric resolves the route).
         dst: Ipv6Addr,
-        /// Complete IPv6 packet.
-        bytes: Vec<u8>,
+        /// Complete IPv6 packet (with transmit headroom in front).
+        bytes: qpip_wire::Packet,
         /// Cost-model classification.
         kind: PacketKind,
     },
@@ -171,15 +169,10 @@ impl QpipNic {
         // request-response traffic the ACK piggybacks on the echo. This
         // is what Tables 2/3's stage sums imply for the 1500-byte-MTU
         // throughput of Figure 4.
-        net.ack_policy = qpip_netstack::types::AckPolicy::Delayed(
-            SimDuration::from_micros(300),
-        );
+        net.ack_policy = qpip_netstack::types::AckPolicy::Delayed(SimDuration::from_micros(300));
         net.ecn = cfg.ecn;
-        let mul_cycles = if cfg.hw_multiply {
-            params::NIC_HW_MUL_CYCLES
-        } else {
-            params::NIC_SOFT_MUL_CYCLES
-        };
+        let mul_cycles =
+            if cfg.hw_multiply { params::NIC_HW_MUL_CYCLES } else { params::NIC_SOFT_MUL_CYCLES };
         QpipNic {
             cfg,
             clock: params::nic_clock(),
@@ -343,8 +336,12 @@ impl QpipNic {
             return Err(NicError::InvalidState("connect on a bound or UDP QP"));
         }
         let posted = q.posted_bytes;
-        let t = self.charge(now, Stage::DoorbellProcess, PacketClass::Control,
-            Cycles(params::NIC_STAGE_DOORBELL_CYCLES));
+        let t = self.charge(
+            now,
+            Stage::DoorbellProcess,
+            PacketClass::Control,
+            Cycles(params::NIC_STAGE_DOORBELL_CYCLES),
+        );
         let (conn, emits) = self.engine.tcp_connect(t, local_port, remote);
         self.qps.get_mut(&qp).expect("checked").conn = Some(conn);
         self.conn_to_qp.insert(conn, qp);
@@ -380,8 +377,12 @@ impl QpipNic {
             ServiceType::UnreliableUdp => PacketClass::UdpSend,
         };
         // Doorbell FSM + scheduler + WR fetch (Table 2 rows 1–3)
-        let t = self.charge(now, Stage::DoorbellProcess, class,
-            Cycles(params::NIC_STAGE_DOORBELL_CYCLES));
+        let t = self.charge(
+            now,
+            Stage::DoorbellProcess,
+            class,
+            Cycles(params::NIC_STAGE_DOORBELL_CYCLES),
+        );
         let t = self.charge(t, Stage::Schedule, class, Cycles(params::NIC_STAGE_SCHEDULE_CYCLES));
         let t = self.charge(t, Stage::GetWr, class, Cycles(params::NIC_STAGE_GET_WR_CYCLES));
 
@@ -460,8 +461,12 @@ impl QpipNic {
         q.posted_bytes += wr.capacity as u64;
         let conn = q.conn;
         let established = q.established;
-        let t = self.charge(now, Stage::DoorbellProcess, PacketClass::DataRecv,
-            Cycles(params::NIC_STAGE_DOORBELL_CYCLES));
+        let t = self.charge(
+            now,
+            Stage::DoorbellProcess,
+            PacketClass::DataRecv,
+            Cycles(params::NIC_STAGE_DOORBELL_CYCLES),
+        );
 
         let mut outputs = Vec::new();
         // drain any backlog now that a buffer exists
@@ -610,18 +615,24 @@ impl QpipNic {
         if q.service != ServiceType::ReliableTcp {
             return Err(NicError::InvalidState("RDMA on a UDP QP"));
         }
-        q.conn
-            .ok_or(NicError::InvalidState("RDMA on an unconnected QP"))
+        q.conn.ok_or(NicError::InvalidState("RDMA on an unconnected QP"))
     }
 
     /// Doorbell + schedule + WR fetch for a host-posted work request.
     fn tx_wr_preamble(&mut self, now: SimTime) -> SimTime {
-        let t = self.charge(now, Stage::DoorbellProcess, PacketClass::DataSend,
-            Cycles(params::NIC_STAGE_DOORBELL_CYCLES));
-        let t = self.charge(t, Stage::Schedule, PacketClass::DataSend,
-            Cycles(params::NIC_STAGE_SCHEDULE_CYCLES));
-        self.charge(t, Stage::GetWr, PacketClass::DataSend,
-            Cycles(params::NIC_STAGE_GET_WR_CYCLES))
+        let t = self.charge(
+            now,
+            Stage::DoorbellProcess,
+            PacketClass::DataSend,
+            Cycles(params::NIC_STAGE_DOORBELL_CYCLES),
+        );
+        let t = self.charge(
+            t,
+            Stage::Schedule,
+            PacketClass::DataSend,
+            Cycles(params::NIC_STAGE_SCHEDULE_CYCLES),
+        );
+        self.charge(t, Stage::GetWr, PacketClass::DataSend, Cycles(params::NIC_STAGE_GET_WR_CYCLES))
     }
 
     /// Dispatches one framed message (RDMA-enabled QPs).
@@ -678,29 +689,37 @@ impl QpipNic {
                 }
                 self.stats.rdma_writes += 1;
                 // direct data placement: DMA into the registered buffer
-                let t = self.charge(t, Stage::PutData, PacketClass::DataRecv,
-                    Cycles(params::NIC_STAGE_PUT_DATA_CYCLES));
+                let t = self.charge(
+                    t,
+                    Stage::PutData,
+                    PacketClass::DataRecv,
+                    Cycles(params::NIC_STAGE_PUT_DATA_CYCLES),
+                );
                 let _dma = self.dma_write.transfer(t, payload.len() as u64)
                     + SimDuration::from_nanos(params::PCI_DMA_SETUP_NS);
-                self.charge(t, Stage::UpdateRx, PacketClass::DataRecv,
-                    Cycles(params::NIC_STAGE_UPDATE_RX_CYCLES))
+                self.charge(
+                    t,
+                    Stage::UpdateRx,
+                    PacketClass::DataRecv,
+                    Cycles(params::NIC_STAGE_UPDATE_RX_CYCLES),
+                )
             }
             RdmaOpcode::ReadRequest => {
-                let Some(data) = self
-                    .mrs
-                    .get(&frame.rkey)
-                    .and_then(|r| {
-                        let off = frame.offset as usize;
-                        let end = off.checked_add(frame.len as usize)?;
-                        r.get(off..end).map(<[u8]>::to_vec)
-                    })
-                else {
+                let Some(data) = self.mrs.get(&frame.rkey).and_then(|r| {
+                    let off = frame.offset as usize;
+                    let end = off.checked_add(frame.len as usize)?;
+                    r.get(off..end).map(<[u8]>::to_vec)
+                }) else {
                     return self.rdma_protection_error(t, conn, outputs);
                 };
                 self.stats.rdma_reads_served += 1;
                 // fetch the bytes from host memory
-                let t = self.charge(t, Stage::GetData, PacketClass::DataSend,
-                    Cycles(params::NIC_STAGE_GET_DATA_CYCLES));
+                let t = self.charge(
+                    t,
+                    Stage::GetData,
+                    PacketClass::DataSend,
+                    Cycles(params::NIC_STAGE_GET_DATA_CYCLES),
+                );
                 let _dma = self.dma_read.transfer(t, data.len() as u64)
                     + SimDuration::from_nanos(params::PCI_DMA_SETUP_NS);
                 let token = self.next_token;
@@ -738,12 +757,20 @@ impl QpipNic {
                     return t;
                 };
                 // place the bytes in the requester's registered buffer
-                let t = self.charge(t, Stage::PutData, PacketClass::DataRecv,
-                    Cycles(params::NIC_STAGE_PUT_DATA_CYCLES));
+                let t = self.charge(
+                    t,
+                    Stage::PutData,
+                    PacketClass::DataRecv,
+                    Cycles(params::NIC_STAGE_PUT_DATA_CYCLES),
+                );
                 let dma = self.dma_write.transfer(t, payload.len() as u64)
                     + SimDuration::from_nanos(params::PCI_DMA_SETUP_NS);
-                let t = self.charge(t, Stage::UpdateRx, PacketClass::DataRecv,
-                    Cycles(params::NIC_STAGE_UPDATE_RX_CYCLES));
+                let t = self.charge(
+                    t,
+                    Stage::UpdateRx,
+                    PacketClass::DataRecv,
+                    Cycles(params::NIC_STAGE_UPDATE_RX_CYCLES),
+                );
                 let send_cq = self.qps[&qp].send_cq;
                 outputs.push(NicOutput::Complete(
                     send_cq,
@@ -860,10 +887,18 @@ impl QpipNic {
             // per-fragment receive work; the transport parse happens once
             // the original packet is whole (end-to-end reassembly, §4.1)
             self.stats.rx_packets += 1;
-            let t = self.charge(now, Stage::MediaRcv, PacketClass::DataRecv,
-                Cycles(params::NIC_STAGE_MEDIA_RCV_CYCLES));
-            let t = self.charge(t, Stage::IpParse, PacketClass::DataRecv,
-                Cycles(params::NIC_STAGE_IP_PARSE_CYCLES));
+            let t = self.charge(
+                now,
+                Stage::MediaRcv,
+                PacketClass::DataRecv,
+                Cycles(params::NIC_STAGE_MEDIA_RCV_CYCLES),
+            );
+            let t = self.charge(
+                t,
+                Stage::IpParse,
+                PacketClass::DataRecv,
+                Cycles(params::NIC_STAGE_IP_PARSE_CYCLES),
+            );
             return match self.reassembler.push(bytes) {
                 Some(full) => self.on_whole_packet(t, &full, false),
                 None => Vec::new(),
@@ -884,8 +919,12 @@ impl QpipNic {
         // reassembled packets (charge_media = false) already paid
         // media-rcv and IP parse per fragment
         let t = if charge_media {
-            let t = self.charge(now, Stage::MediaRcv, class,
-                Cycles(params::NIC_STAGE_MEDIA_RCV_CYCLES));
+            let t = self.charge(
+                now,
+                Stage::MediaRcv,
+                class,
+                Cycles(params::NIC_STAGE_MEDIA_RCV_CYCLES),
+            );
             self.charge(t, Stage::IpParse, class, Cycles(params::NIC_STAGE_IP_PARSE_CYCLES))
         } else {
             now
@@ -894,8 +933,12 @@ impl QpipNic {
         // hardware mode verifies during the receive DMA for free
         let t = if self.cfg.checksum == ChecksumMode::Firmware {
             let transport = bytes.len().saturating_sub(40) as u64;
-            self.charge(t, Stage::FwChecksum, class,
-                Cycles(transport * params::NIC_FW_CSUM_CYCLES_PER_BYTE))
+            self.charge(
+                t,
+                Stage::FwChecksum,
+                class,
+                Cycles(transport * params::NIC_FW_CSUM_CYCLES_PER_BYTE),
+            )
         } else {
             t
         };
@@ -927,8 +970,12 @@ impl QpipNic {
 
     /// Fires due protocol timers (Figure 2: "Sched. T/O, Update WR").
     pub fn on_timer(&mut self, now: SimTime) -> Vec<NicOutput> {
-        let t = self.charge(now, Stage::Schedule, PacketClass::Control,
-            Cycles(params::NIC_STAGE_TIMER_SCAN_CYCLES));
+        let t = self.charge(
+            now,
+            Stage::Schedule,
+            PacketClass::Control,
+            Cycles(params::NIC_STAGE_TIMER_SCAN_CYCLES),
+        );
         let emits = self.engine.on_timer(t);
         let ops = self.engine.take_ops();
         let t = self.charge_muls(t, ops.muls, PacketClass::Control);
@@ -1059,14 +1106,26 @@ impl QpipNic {
         match origin {
             TxOrigin::PostedWr => {} // doorbell/schedule/get-wr already charged
             TxOrigin::Internal => {
-                t = self.charge(t, Stage::DoorbellProcess, class,
-                    Cycles(params::NIC_STAGE_DOORBELL_CYCLES));
-                t = self.charge(t, Stage::Schedule, class,
-                    Cycles(params::NIC_STAGE_SCHEDULE_CYCLES));
+                t = self.charge(
+                    t,
+                    Stage::DoorbellProcess,
+                    class,
+                    Cycles(params::NIC_STAGE_DOORBELL_CYCLES),
+                );
+                t = self.charge(
+                    t,
+                    Stage::Schedule,
+                    class,
+                    Cycles(params::NIC_STAGE_SCHEDULE_CYCLES),
+                );
             }
             TxOrigin::Deferred => {
-                t = self.charge(t, Stage::Schedule, class,
-                    Cycles(params::NIC_STAGE_SCHEDULE_CYCLES));
+                t = self.charge(
+                    t,
+                    Stage::Schedule,
+                    class,
+                    Cycles(params::NIC_STAGE_SCHEDULE_CYCLES),
+                );
             }
         }
         // payload DMA from the registered host buffer (data packets only)
@@ -1080,10 +1139,18 @@ impl QpipNic {
         }
         // header construction
         t = match pkt.kind {
-            PacketKind::Udp => self.charge(t, Stage::BuildUdpHdr, class,
-                Cycles(params::NIC_STAGE_BUILD_UDP_CYCLES)),
-            _ => self.charge(t, Stage::BuildTcpHdr, class,
-                Cycles(params::NIC_STAGE_BUILD_TCP_CYCLES)),
+            PacketKind::Udp => self.charge(
+                t,
+                Stage::BuildUdpHdr,
+                class,
+                Cycles(params::NIC_STAGE_BUILD_UDP_CYCLES),
+            ),
+            _ => self.charge(
+                t,
+                Stage::BuildTcpHdr,
+                class,
+                Cycles(params::NIC_STAGE_BUILD_TCP_CYCLES),
+            ),
         };
         t = self.charge(t, Stage::BuildIpHdr, class, Cycles(params::NIC_STAGE_BUILD_IP_CYCLES));
         // firmware checksum over the whole transport segment, computed
@@ -1091,14 +1158,18 @@ impl QpipNic {
         // when both the arithmetic and the transfer finish
         if self.cfg.checksum == ChecksumMode::Firmware {
             let transport = (pkt.bytes.len() - 40) as u64;
-            t = self.charge(t, Stage::FwChecksum, class,
-                Cycles(transport * params::NIC_FW_CSUM_CYCLES_PER_BYTE));
+            t = self.charge(
+                t,
+                Stage::FwChecksum,
+                class,
+                Cycles(transport * params::NIC_FW_CSUM_CYCLES_PER_BYTE),
+            );
             data_ready = data_ready.max(t);
         }
         // the processor programs the media engine and moves on; the
         // autonomous transmit engine starts once the payload DMA lands
-        let proc_done = self.charge(t, Stage::MediaXmt, class,
-            Cycles(params::NIC_STAGE_MEDIA_XMT_CYCLES));
+        let proc_done =
+            self.charge(t, Stage::MediaXmt, class, Cycles(params::NIC_STAGE_MEDIA_XMT_CYCLES));
         let mut wire_at = proc_done.max(data_ready);
         if pkt.bytes.len() > self.cfg.mtu {
             // IPv6 end-to-end fragmentation (§4.1): the firmware splits
@@ -1110,22 +1181,34 @@ impl QpipNic {
             let mut proc_done = proc_done;
             for (i, f) in frags.into_iter().enumerate() {
                 if i > 0 {
-                    proc_done = self.charge(proc_done, Stage::BuildIpHdr, class,
-                        Cycles(params::NIC_STAGE_BUILD_IP_CYCLES));
-                    proc_done = self.charge(proc_done, Stage::MediaXmt, class,
-                        Cycles(params::NIC_STAGE_MEDIA_XMT_CYCLES));
+                    proc_done = self.charge(
+                        proc_done,
+                        Stage::BuildIpHdr,
+                        class,
+                        Cycles(params::NIC_STAGE_BUILD_IP_CYCLES),
+                    );
+                    proc_done = self.charge(
+                        proc_done,
+                        Stage::MediaXmt,
+                        class,
+                        Cycles(params::NIC_STAGE_MEDIA_XMT_CYCLES),
+                    );
                     wire_at = wire_at.max(proc_done);
                 }
                 self.stats.tx_packets += 1;
                 outputs.push(NicOutput::Transmit {
                     at: wire_at,
                     dst: pkt.dst,
-                    bytes: f,
+                    bytes: qpip_wire::Packet::from_vec(f),
                     kind: pkt.kind,
                 });
             }
-            return self.charge(proc_done, Stage::UpdateTx, class,
-                Cycles(params::NIC_STAGE_UPDATE_TX_CYCLES));
+            return self.charge(
+                proc_done,
+                Stage::UpdateTx,
+                class,
+                Cycles(params::NIC_STAGE_UPDATE_TX_CYCLES),
+            );
         }
         self.stats.tx_packets += 1;
         outputs.push(NicOutput::Transmit {
@@ -1238,18 +1321,16 @@ impl QpipNic {
         };
         // Table 3, ACK-receive Update row: retire the WR, write the CQ
         // entry and roll the QP/TCB state forward (9 µs).
-        let t = self.charge(t, Stage::UpdateRx, PacketClass::AckRecv,
-            Cycles(params::NIC_STAGE_UPDATE_ACK_CYCLES));
+        let t = self.charge(
+            t,
+            Stage::UpdateRx,
+            PacketClass::AckRecv,
+            Cycles(params::NIC_STAGE_UPDATE_ACK_CYCLES),
+        );
         let send_cq = self.qps[&qp].send_cq;
         outputs.push(NicOutput::Complete(
             send_cq,
-            Completion {
-                qp,
-                wr_id,
-                kind,
-                status: CompletionStatus::Success,
-                visible_at: t,
-            },
+            Completion { qp, wr_id, kind, status: CompletionStatus::Success, visible_at: t },
         ));
         t
     }
@@ -1286,10 +1367,7 @@ impl QpipNic {
         conn: ConnId,
         outputs: &mut Vec<NicOutput>,
     ) -> SimTime {
-        let Some(qp) = self
-            .accept_pool
-            .get_mut(&listener_port)
-            .and_then(VecDeque::pop_front)
+        let Some(qp) = self.accept_pool.get_mut(&listener_port).and_then(VecDeque::pop_front)
         else {
             // no idle QP: refuse the connection
             let emits = self.engine.tcp_abort(t, conn).unwrap_or_default();
@@ -1371,10 +1449,7 @@ mod tests {
     }
 
     fn transmits(outputs: &[NicOutput]) -> Vec<&NicOutput> {
-        outputs
-            .iter()
-            .filter(|o| matches!(o, NicOutput::Transmit { .. }))
-            .collect()
+        outputs.iter().filter(|o| matches!(o, NicOutput::Transmit { .. })).collect()
     }
 
     fn completions(outputs: &[NicOutput]) -> Vec<&Completion> {
@@ -1482,10 +1557,7 @@ mod tests {
         let NicOutput::Transmit { at, bytes, .. } = &out[0] else { panic!() };
         let out_b = b.on_packet(*at, bytes);
         let comps = completions(&out_b);
-        assert_eq!(
-            comps[0].status,
-            CompletionStatus::LocalLengthError { len: 4, capacity: 2 }
-        );
+        assert_eq!(comps[0].status, CompletionStatus::LocalLengthError { len: 4, capacity: 2 });
         assert_eq!(b.stats().length_errors, 1);
     }
 
@@ -1505,10 +1577,7 @@ mod tests {
         let mut nic = QpipNic::new(NicConfig::paper_default(), addr(1));
         let cq = nic.create_cq();
         let tcp_qp = nic.create_qp(ServiceType::ReliableTcp, cq, cq).unwrap();
-        assert!(matches!(
-            nic.udp_bind(tcp_qp, 5),
-            Err(NicError::InvalidState(_))
-        ));
+        assert!(matches!(nic.udp_bind(tcp_qp, 5), Err(NicError::InvalidState(_))));
         let u1 = nic.create_qp(ServiceType::UnreliableUdp, cq, cq).unwrap();
         let u2 = nic.create_qp(ServiceType::UnreliableUdp, cq, cq).unwrap();
         nic.udp_bind(u1, 5).unwrap();
@@ -1518,10 +1587,8 @@ mod tests {
     #[test]
     fn firmware_checksum_charges_per_byte() {
         let mk = |mode| {
-            let mut nic = QpipNic::new(
-                NicConfig { checksum: mode, ..NicConfig::paper_default() },
-                addr(1),
-            );
+            let mut nic =
+                QpipNic::new(NicConfig { checksum: mode, ..NicConfig::paper_default() }, addr(1));
             let cq = nic.create_cq();
             let qp = nic.create_qp(ServiceType::UnreliableUdp, cq, cq).unwrap();
             nic.udp_bind(qp, 7000).unwrap();
@@ -1549,11 +1616,8 @@ mod tests {
     #[test]
     fn processor_serializes_back_to_back_sends() {
         let (mut a, qp, _) = udp_nic(1, 7000);
-        let mk = |wr_id| SendWr {
-            wr_id,
-            payload: vec![0; 16],
-            dst: Some(Endpoint::new(addr(2), 7001)),
-        };
+        let mk =
+            |wr_id| SendWr { wr_id, payload: vec![0; 16], dst: Some(Endpoint::new(addr(2), 7001)) };
         let o1 = a.post_send(SimTime::ZERO, qp, mk(1)).unwrap();
         let o2 = a.post_send(SimTime::ZERO, qp, mk(2)).unwrap();
         let NicOutput::Transmit { at: t1, .. } = o1[0] else { panic!() };
@@ -1567,11 +1631,7 @@ mod tests {
         a.post_send(
             SimTime::ZERO,
             qp,
-            SendWr {
-                wr_id: 1,
-                payload: vec![0; 100],
-                dst: Some(Endpoint::new(addr(2), 7001)),
-            },
+            SendWr { wr_id: 1, payload: vec![0; 100], dst: Some(Endpoint::new(addr(2), 7001)) },
         )
         .unwrap();
         let occ = a.occupancy();
@@ -1585,22 +1645,14 @@ mod tests {
             Stage::MediaXmt,
             Stage::UpdateTx,
         ] {
-            assert_eq!(
-                occ.count(stage, PacketClass::UdpSend),
-                1,
-                "missing {stage:?}"
-            );
+            assert_eq!(occ.count(stage, PacketClass::UdpSend), 1, "missing {stage:?}");
         }
     }
 
     #[test]
     fn classify_distinguishes_kinds() {
         use qpip_netstack::codec::build_udp_packet;
-        let u = build_udp_packet(
-            Endpoint::new(addr(1), 1),
-            Endpoint::new(addr(2), 2),
-            b"x",
-        );
+        let u = build_udp_packet(Endpoint::new(addr(1), 1), Endpoint::new(addr(2), 2), b"x");
         assert_eq!(classify_incoming(&u), PacketClass::UdpRecv);
         assert_eq!(classify_incoming(&[0u8; 10]), PacketClass::Control);
     }

@@ -106,10 +106,7 @@ impl Occupancy {
 
     /// Records one stage execution.
     pub fn record(&mut self, stage: Stage, class: PacketClass, d: SimDuration) {
-        self.cells
-            .entry((stage, class))
-            .or_default()
-            .record_duration_us(d);
+        self.cells.entry((stage, class)).or_default().record_duration_us(d);
         self.total_busy += d;
     }
 
@@ -130,11 +127,7 @@ impl Occupancy {
 
     /// All populated cells, sorted for stable output.
     pub fn cells(&self) -> Vec<((Stage, PacketClass), f64, usize)> {
-        let mut v: Vec<_> = self
-            .cells
-            .iter()
-            .map(|(&k, s)| (k, s.mean(), s.count()))
-            .collect();
+        let mut v: Vec<_> = self.cells.iter().map(|(&k, s)| (k, s.mean(), s.count())).collect();
         v.sort_by_key(|a| a.0);
         v
     }

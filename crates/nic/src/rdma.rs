@@ -134,13 +134,7 @@ mod tests {
 
     #[test]
     fn write_frame_roundtrip() {
-        let f = RdmaFrame {
-            opcode: RdmaOpcode::Write,
-            rkey: 7,
-            offset: 4096,
-            len: 3,
-            context: 99,
-        };
+        let f = RdmaFrame { opcode: RdmaOpcode::Write, rkey: 7, offset: 4096, len: 3, context: 99 };
         let mut msg = f.encode();
         msg.extend_from_slice(&[1, 2, 3]);
         let (back, payload) = RdmaFrame::parse(&msg).unwrap();
@@ -172,10 +166,7 @@ mod tests {
         let mut msg = RdmaFrame::send(0).encode();
         msg[0] = 9;
         assert_eq!(RdmaFrame::parse(&msg), Err(ParseWireError::BadOption));
-        assert!(matches!(
-            RdmaFrame::parse(&[0; 27]),
-            Err(ParseWireError::Truncated { .. })
-        ));
+        assert!(matches!(RdmaFrame::parse(&[0; 27]), Err(ParseWireError::Truncated { .. })));
     }
 
     #[test]
@@ -188,12 +179,9 @@ mod tests {
 
     #[test]
     fn all_opcodes_roundtrip() {
-        for op in [
-            RdmaOpcode::Send,
-            RdmaOpcode::Write,
-            RdmaOpcode::ReadRequest,
-            RdmaOpcode::ReadResponse,
-        ] {
+        for op in
+            [RdmaOpcode::Send, RdmaOpcode::Write, RdmaOpcode::ReadRequest, RdmaOpcode::ReadResponse]
+        {
             assert_eq!(RdmaOpcode::from_code(op.code()), Some(op));
         }
     }

@@ -219,10 +219,7 @@ impl NicConfig {
     /// Same but with the firmware checksum (the "for completeness"
     /// numbers in §4.2.1).
     pub fn firmware_checksum() -> Self {
-        NicConfig {
-            checksum: ChecksumMode::Firmware,
-            ..NicConfig::paper_default()
-        }
+        NicConfig { checksum: ChecksumMode::Firmware, ..NicConfig::paper_default() }
     }
 
     /// Small-MTU fabric with jumbo (16 KB) TCP segments carried as IPv6
@@ -297,9 +294,6 @@ mod tests {
         assert_eq!(c.checksum, ChecksumMode::Hardware);
         assert!(!c.hw_multiply);
         assert_eq!(c.mtu, 16 * 1024);
-        assert_eq!(
-            NicConfig::firmware_checksum().checksum,
-            ChecksumMode::Firmware
-        );
+        assert_eq!(NicConfig::firmware_checksum().checksum, ChecksumMode::Firmware);
     }
 }

@@ -6,9 +6,7 @@ use std::collections::VecDeque;
 use std::net::Ipv6Addr;
 
 use qpip_netstack::types::Endpoint;
-use qpip_nic::{
-    CompletionKind, NicConfig, NicOutput, QpId, QpipNic, RecvWr, SendWr, ServiceType,
-};
+use qpip_nic::{CompletionKind, NicConfig, NicOutput, QpId, QpipNic, RecvWr, SendWr, ServiceType};
 use qpip_sim::time::{SimDuration, SimTime};
 
 fn addr(n: u16) -> Ipv6Addr {
@@ -21,7 +19,7 @@ struct Pair {
     qa: QpId,
     qb: QpId,
     now: SimTime,
-    wire: VecDeque<(bool, SimTime, Vec<u8>)>,
+    wire: VecDeque<(bool, SimTime, qpip_wire::Packet)>,
     wire_sizes: Vec<usize>,
     drop_indices: Vec<usize>,
     sent: usize,
@@ -63,8 +61,7 @@ impl Pair {
                     if self.drop_indices.contains(&idx) {
                         continue;
                     }
-                    self.wire
-                        .push_back((from_a, at + SimDuration::from_micros(1), bytes));
+                    self.wire.push_back((from_a, at + SimDuration::from_micros(1), bytes));
                 }
                 NicOutput::Complete(_, c) => {
                     if from_a {
@@ -94,10 +91,7 @@ impl Pair {
     }
 
     fn fire_timers(&mut self) -> bool {
-        let next = [self.a.next_deadline(), self.b.next_deadline()]
-            .into_iter()
-            .flatten()
-            .min();
+        let next = [self.a.next_deadline(), self.b.next_deadline()].into_iter().flatten().min();
         let Some(d) = next else { return false };
         self.now = self.now.max(d);
         let oa = self.a.on_timer(self.now);
@@ -117,16 +111,11 @@ impl Pair {
             self.absorb(false, outs);
         }
         self.b.tcp_listen(5000, self.qb).unwrap();
-        let outs = self
-            .a
-            .tcp_connect(self.now, self.qa, 4000, Endpoint::new(addr(2), 5000))
-            .unwrap();
+        let outs =
+            self.a.tcp_connect(self.now, self.qa, 4000, Endpoint::new(addr(2), 5000)).unwrap();
         self.absorb(true, outs);
         self.run();
-        assert!(self
-            .comps_a
-            .iter()
-            .any(|c| c.kind == CompletionKind::ConnectionEstablished));
+        assert!(self.comps_a.iter().any(|c| c.kind == CompletionKind::ConnectionEstablished));
     }
 
     fn received(&self) -> Vec<&Vec<u8>> {
@@ -145,10 +134,9 @@ fn jumbo_message_crosses_small_mtu_wire_in_fragments() {
     let mut p = Pair::new(1500);
     p.establish();
     let payload: Vec<u8> = (0..12_000).map(|i| (i % 253) as u8).collect();
-    let outs = p
-        .a
-        .post_send(p.now, p.qa, SendWr { wr_id: 1, payload: payload.clone(), dst: None })
-        .unwrap();
+    let outs =
+        p.a.post_send(p.now, p.qa, SendWr { wr_id: 1, payload: payload.clone(), dst: None })
+            .unwrap();
     p.absorb(true, outs);
     p.run();
     let got = p.received();
@@ -168,10 +156,9 @@ fn fragment_loss_is_recovered_by_tcp_retransmission() {
     // drop one mid-segment fragment of the upcoming send
     p.drop_indices = vec![p.sent + 3];
     let payload = vec![0xabu8; 12_000];
-    let outs = p
-        .a
-        .post_send(p.now, p.qa, SendWr { wr_id: 9, payload: payload.clone(), dst: None })
-        .unwrap();
+    let outs =
+        p.a.post_send(p.now, p.qa, SendWr { wr_id: 9, payload: payload.clone(), dst: None })
+            .unwrap();
     p.absorb(true, outs);
     p.run();
     assert!(p.received().is_empty(), "incomplete segment: nothing delivered");
@@ -192,10 +179,8 @@ fn small_messages_on_fragmented_config_go_unfragmented() {
     let mut p = Pair::new(1500);
     p.establish();
     let before = p.wire_sizes.len();
-    let outs = p
-        .a
-        .post_send(p.now, p.qa, SendWr { wr_id: 2, payload: vec![1; 400], dst: None })
-        .unwrap();
+    let outs =
+        p.a.post_send(p.now, p.qa, SendWr { wr_id: 2, payload: vec![1; 400], dst: None }).unwrap();
     p.absorb(true, outs);
     p.run();
     assert_eq!(p.received().len(), 1);
@@ -212,10 +197,7 @@ fn many_jumbo_messages_stream_reliably() {
     for i in 0..6u64 {
         let payload = vec![i as u8; 10_000];
         expected.push(payload.clone());
-        let outs = p
-            .a
-            .post_send(p.now, p.qa, SendWr { wr_id: i, payload, dst: None })
-            .unwrap();
+        let outs = p.a.post_send(p.now, p.qa, SendWr { wr_id: i, payload, dst: None }).unwrap();
         p.absorb(true, outs);
         p.run();
         p.fire_timers();

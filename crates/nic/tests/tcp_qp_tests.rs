@@ -22,7 +22,7 @@ struct Pair {
     qa: QpId,
     qb: QpId,
     now: SimTime,
-    wire: VecDeque<(bool, SimTime, Vec<u8>)>,
+    wire: VecDeque<(bool, SimTime, qpip_wire::Packet)>,
     comps_a: Vec<(CqId, Completion)>,
     comps_b: Vec<(CqId, Completion)>,
 }
@@ -82,10 +82,7 @@ impl Pair {
     }
 
     fn fire_timers(&mut self) -> bool {
-        let next = [self.a.next_deadline(), self.b.next_deadline()]
-            .into_iter()
-            .flatten()
-            .min();
+        let next = [self.a.next_deadline(), self.b.next_deadline()].into_iter().flatten().min();
         let Some(d) = next else { return false };
         self.now = self.now.max(d);
         let oa = self.a.on_timer(self.now);
@@ -111,22 +108,16 @@ impl Pair {
             self.absorb(true, outs);
         }
         self.b.tcp_listen(5000, self.qb).unwrap();
-        let outs = self
-            .a
-            .tcp_connect(self.now, self.qa, 4000, Endpoint::new(addr(2), 5000))
-            .unwrap();
+        let outs =
+            self.a.tcp_connect(self.now, self.qa, 4000, Endpoint::new(addr(2), 5000)).unwrap();
         self.absorb(true, outs);
         self.run();
         assert!(
-            self.comps_a
-                .iter()
-                .any(|(_, c)| c.kind == CompletionKind::ConnectionEstablished),
+            self.comps_a.iter().any(|(_, c)| c.kind == CompletionKind::ConnectionEstablished),
             "client saw establishment"
         );
         assert!(
-            self.comps_b
-                .iter()
-                .any(|(_, c)| c.kind == CompletionKind::ConnectionEstablished),
+            self.comps_b.iter().any(|(_, c)| c.kind == CompletionKind::ConnectionEstablished),
             "server QP was mated"
         );
     }
@@ -142,10 +133,9 @@ fn connection_mates_to_idle_qp() {
 fn message_exchange_with_completions_both_sides() {
     let mut p = Pair::new(NicConfig::paper_default());
     p.establish(8, 16 * 1024);
-    let outs = p
-        .a
-        .post_send(p.now, p.qa, SendWr { wr_id: 7, payload: vec![0xaa; 4096], dst: None })
-        .unwrap();
+    let outs =
+        p.a.post_send(p.now, p.qa, SendWr { wr_id: 7, payload: vec![0xaa; 4096], dst: None })
+            .unwrap();
     p.absorb(true, outs);
     p.run();
     // receiver got the message into the first posted WR
@@ -161,10 +151,7 @@ fn message_exchange_with_completions_both_sides() {
     // sender's WR completes when the data is acknowledged (§3); a lone
     // segment is acknowledged by the delayed-ACK timer
     p.fire_timers();
-    let send_done = p
-        .comps_a
-        .iter()
-        .any(|(_, c)| c.kind == CompletionKind::Send && c.wr_id == 7);
+    let send_done = p.comps_a.iter().any(|(_, c)| c.kind == CompletionKind::Send && c.wr_id == 7);
     assert!(send_done);
 }
 
@@ -173,9 +160,12 @@ fn messages_consume_receive_wrs_in_order() {
     let mut p = Pair::new(NicConfig::paper_default());
     p.establish(4, 16 * 1024);
     for (i, len) in [100usize, 200, 300].iter().enumerate() {
-        let outs = p
-            .a
-            .post_send(p.now, p.qa, SendWr { wr_id: i as u64, payload: vec![i as u8; *len], dst: None })
+        let outs =
+            p.a.post_send(
+                p.now,
+                p.qa,
+                SendWr { wr_id: i as u64, payload: vec![i as u8; *len], dst: None },
+            )
             .unwrap();
         p.absorb(true, outs);
         p.run();
@@ -196,29 +186,18 @@ fn sender_blocks_until_receiver_posts_buffers() {
     let mut p = Pair::new(NicConfig::paper_default());
     // server posts NO receives: its advertised window is zero
     p.b.tcp_listen(5000, p.qb).unwrap();
-    let outs = p
-        .a
-        .tcp_connect(p.now, p.qa, 4000, Endpoint::new(addr(2), 5000))
-        .unwrap();
+    let outs = p.a.tcp_connect(p.now, p.qa, 4000, Endpoint::new(addr(2), 5000)).unwrap();
     p.absorb(true, outs);
     p.run();
     // client sends a message: it must NOT reach the receiver yet
-    let outs = p
-        .a
-        .post_send(p.now, p.qa, SendWr { wr_id: 1, payload: vec![1; 1024], dst: None })
-        .unwrap();
+    let outs =
+        p.a.post_send(p.now, p.qa, SendWr { wr_id: 1, payload: vec![1; 1024], dst: None }).unwrap();
     p.absorb(true, outs);
     p.run();
-    let got_data = p
-        .comps_b
-        .iter()
-        .any(|(_, c)| matches!(c.kind, CompletionKind::Recv { .. }));
+    let got_data = p.comps_b.iter().any(|(_, c)| matches!(c.kind, CompletionKind::Recv { .. }));
     assert!(!got_data, "no receive space posted: transfer must stall");
     // server posts a buffer: the window update releases the message
-    let outs = p
-        .b
-        .post_recv(p.now, p.qb, RecvWr { wr_id: 100, capacity: 16 * 1024 })
-        .unwrap();
+    let outs = p.b.post_recv(p.now, p.qb, RecvWr { wr_id: 100, capacity: 16 * 1024 }).unwrap();
     p.absorb(false, outs);
     p.run();
     // allow a retransmit timer in case the update raced
@@ -228,10 +207,7 @@ fn sender_blocks_until_receiver_posts_buffers() {
         }
         p.fire_timers();
     }
-    let got_data = p
-        .comps_b
-        .iter()
-        .any(|(_, c)| matches!(c.kind, CompletionKind::Recv { .. }));
+    let got_data = p.comps_b.iter().any(|(_, c)| matches!(c.kind, CompletionKind::Recv { .. }));
     assert!(got_data, "posting receive space unblocked the sender (§5.1)");
 }
 
@@ -239,10 +215,8 @@ fn sender_blocks_until_receiver_posts_buffers() {
 fn completion_timestamps_are_monotone_and_positive() {
     let mut p = Pair::new(NicConfig::paper_default());
     p.establish(4, 16 * 1024);
-    let outs = p
-        .a
-        .post_send(p.now, p.qa, SendWr { wr_id: 1, payload: vec![0; 512], dst: None })
-        .unwrap();
+    let outs =
+        p.a.post_send(p.now, p.qa, SendWr { wr_id: 1, payload: vec![0; 512], dst: None }).unwrap();
     p.absorb(true, outs);
     p.run();
     let mut last = SimTime::ZERO;
@@ -258,10 +232,9 @@ fn all_completions_are_success_in_clean_run() {
     let mut p = Pair::new(NicConfig::paper_default());
     p.establish(6, 16 * 1024);
     for i in 0..5u64 {
-        let outs = p
-            .a
-            .post_send(p.now, p.qa, SendWr { wr_id: i, payload: vec![0; 2048], dst: None })
-            .unwrap();
+        let outs =
+            p.a.post_send(p.now, p.qa, SendWr { wr_id: i, payload: vec![0; 2048], dst: None })
+                .unwrap();
         p.absorb(true, outs);
         p.run();
     }
@@ -278,17 +251,13 @@ fn ping_pong_rtt_is_in_the_tens_of_microseconds() {
     let mut p = Pair::new(NicConfig::paper_default());
     p.establish(8, 16 * 1024);
     let t0 = p.now;
-    let outs = p
-        .a
-        .post_send(p.now, p.qa, SendWr { wr_id: 50, payload: vec![1], dst: None })
-        .unwrap();
+    let outs =
+        p.a.post_send(p.now, p.qa, SendWr { wr_id: 50, payload: vec![1], dst: None }).unwrap();
     p.absorb(true, outs);
     p.run();
     // b echoes
-    let outs = p
-        .b
-        .post_send(p.now, p.qb, SendWr { wr_id: 60, payload: vec![1], dst: None })
-        .unwrap();
+    let outs =
+        p.b.post_send(p.now, p.qb, SendWr { wr_id: 60, payload: vec![1], dst: None }).unwrap();
     p.absorb(false, outs);
     p.run();
     let echo_at = p
@@ -300,10 +269,7 @@ fn ping_pong_rtt_is_in_the_tens_of_microseconds() {
         })
         .expect("echo delivered");
     let rtt = echo_at.duration_since(t0).as_micros_f64();
-    assert!(
-        (40.0..200.0).contains(&rtt),
-        "QP-to-QP TCP rtt {rtt} µs outside plausible envelope"
-    );
+    assert!((40.0..200.0).contains(&rtt), "QP-to-QP TCP rtt {rtt} µs outside plausible envelope");
 }
 
 /// Regression: when a post_recv's buffer is immediately consumed by a
@@ -315,25 +281,17 @@ fn window_after_backlog_drain_reflects_real_posted_space() {
     let mut p = Pair::new(NicConfig::paper_default());
     // server posts nothing; client connects and sends two messages
     p.b.tcp_listen(5000, p.qb).unwrap();
-    let outs = p
-        .a
-        .tcp_connect(p.now, p.qa, 4000, Endpoint::new(addr(2), 5000))
-        .unwrap();
+    let outs = p.a.tcp_connect(p.now, p.qa, 4000, Endpoint::new(addr(2), 5000)).unwrap();
     p.absorb(true, outs);
     p.run();
-    let outs = p
-        .a
-        .post_send(p.now, p.qa, SendWr { wr_id: 1, payload: vec![1; 1024], dst: None })
-        .unwrap();
+    let outs =
+        p.a.post_send(p.now, p.qa, SendWr { wr_id: 1, payload: vec![1; 1024], dst: None }).unwrap();
     p.absorb(true, outs);
     p.run();
     // nothing posted: message stalls (window 0) or backlogs
     // post ONE buffer: it must deliver exactly one message, and the
     // window afterwards must be zero again, so a second send stalls
-    let outs = p
-        .b
-        .post_recv(p.now, p.qb, RecvWr { wr_id: 100, capacity: 2048 })
-        .unwrap();
+    let outs = p.b.post_recv(p.now, p.qb, RecvWr { wr_id: 100, capacity: 2048 }).unwrap();
     p.absorb(false, outs);
     p.run();
     for _ in 0..4 {
@@ -342,25 +300,17 @@ fn window_after_backlog_drain_reflects_real_posted_space() {
         }
         p.fire_timers();
     }
-    let recvs = p
-        .comps_b
-        .iter()
-        .filter(|(_, c)| matches!(c.kind, CompletionKind::Recv { .. }))
-        .count();
+    let recvs =
+        p.comps_b.iter().filter(|(_, c)| matches!(c.kind, CompletionKind::Recv { .. })).count();
     assert_eq!(recvs, 1);
     // second message: no buffer is posted, so it must NOT be delivered
-    let outs = p
-        .a
-        .post_send(p.now, p.qa, SendWr { wr_id: 2, payload: vec![2; 1024], dst: None })
-        .unwrap();
+    let outs =
+        p.a.post_send(p.now, p.qa, SendWr { wr_id: 2, payload: vec![2; 1024], dst: None }).unwrap();
     p.absorb(true, outs);
     p.run();
     p.fire_timers();
-    let recvs = p
-        .comps_b
-        .iter()
-        .filter(|(_, c)| matches!(c.kind, CompletionKind::Recv { .. }))
-        .count();
+    let recvs =
+        p.comps_b.iter().filter(|(_, c)| matches!(c.kind, CompletionKind::Recv { .. })).count();
     assert_eq!(recvs, 1, "no second delivery without posted space");
     // backlog is bounded by the (now correct) window: at most one
     // message can be in flight/backlogged beyond the posted space

@@ -38,6 +38,7 @@
 pub mod kernel;
 pub mod params;
 pub mod resource;
+pub mod rng;
 pub mod stats;
 pub mod time;
 

@@ -320,10 +320,7 @@ mod tests {
     #[test]
     fn host_path_cycles_sum_to_table1() {
         // Table 1: host-based IP send+receive = 16 445 cycles = 29.9 µs.
-        assert_eq!(
-            host_tx_path_cycles_1b() + host_rx_path_cycles_1b(),
-            16_445
-        );
+        assert_eq!(host_tx_path_cycles_1b() + host_rx_path_cycles_1b(), 16_445);
         let d = host_clock()
             .cycles_to_duration(Cycles(host_tx_path_cycles_1b() + host_rx_path_cycles_1b()));
         assert!((d.as_micros_f64() - 29.9).abs() < 0.01);
@@ -373,8 +370,7 @@ mod tests {
         // firmware-checksum configuration lands in the mid-20s MB/s
         // (§4.2.1 reports 26.4 MB/s).
         let seg = 16_384u64;
-        let csum_s =
-            (seg * NIC_FW_CSUM_CYCLES_PER_BYTE) as f64 / (NIC_CLOCK_MHZ as f64 * 1e6);
+        let csum_s = (seg * NIC_FW_CSUM_CYCLES_PER_BYTE) as f64 / (NIC_CLOCK_MHZ as f64 * 1e6);
         let mbps = seg as f64 / csum_s / 1e6;
         assert!((20.0..30.0).contains(&mbps), "{mbps}");
     }

@@ -38,12 +38,7 @@ pub struct SerialResource {
 impl SerialResource {
     /// Creates an idle resource labeled `name` (for diagnostics).
     pub fn new(name: &'static str) -> Self {
-        SerialResource {
-            name,
-            next_free: SimTime::ZERO,
-            busy: SimDuration::ZERO,
-            jobs: 0,
-        }
+        SerialResource { name, next_free: SimTime::ZERO, busy: SimDuration::ZERO, jobs: 0 }
     }
 
     /// The diagnostic label.
@@ -126,11 +121,7 @@ impl BandwidthPipe {
     /// Panics if `bytes_per_sec` is zero.
     pub fn new(name: &'static str, bytes_per_sec: u64) -> Self {
         assert!(bytes_per_sec > 0, "pipe capacity must be nonzero");
-        BandwidthPipe {
-            inner: SerialResource::new(name),
-            bytes_per_sec,
-            bytes_moved: 0,
-        }
+        BandwidthPipe { inner: SerialResource::new(name), bytes_per_sec, bytes_moved: 0 }
     }
 
     /// The configured capacity in bytes per second.
@@ -142,8 +133,7 @@ impl BandwidthPipe {
     /// returning the completion instant.
     pub fn transfer(&mut self, now: SimTime, bytes: u64) -> SimTime {
         self.bytes_moved += bytes;
-        self.inner
-            .acquire(now, SimDuration::for_bytes(bytes, self.bytes_per_sec))
+        self.inner.acquire(now, SimDuration::for_bytes(bytes, self.bytes_per_sec))
     }
 
     /// Serialization delay for `bytes` without occupying the pipe.

@@ -119,12 +119,10 @@ impl Summary {
             return None;
         }
         if !self.sorted {
-            self.samples
-                .sort_by(|a, b| a.partial_cmp(b).expect("finite samples"));
+            self.samples.sort_by(|a, b| a.partial_cmp(b).expect("finite samples"));
             self.sorted = true;
         }
-        let rank =
-            ((p / 100.0) * self.samples.len() as f64).ceil() as usize;
+        let rank = ((p / 100.0) * self.samples.len() as f64).ceil() as usize;
         Some(self.samples[rank.saturating_sub(1).min(self.samples.len() - 1)])
     }
 
@@ -139,12 +137,8 @@ impl Summary {
             return 0.0;
         }
         let m = self.mean();
-        let var = self
-            .samples
-            .iter()
-            .map(|v| (v - m) * (v - m))
-            .sum::<f64>()
-            / self.samples.len() as f64;
+        let var =
+            self.samples.iter().map(|v| (v - m) * (v - m)).sum::<f64>() / self.samples.len() as f64;
         var.sqrt()
     }
 }
@@ -167,12 +161,7 @@ impl Histogram {
     /// Panics if `width <= 0` or `buckets == 0`.
     pub fn new(width: f64, buckets: usize) -> Self {
         assert!(width > 0.0 && buckets > 0);
-        Histogram {
-            width,
-            buckets: vec![0; buckets],
-            overflow: 0,
-            count: 0,
-        }
+        Histogram { width, buckets: vec![0; buckets], overflow: 0, count: 0 }
     }
 
     /// Records a sample (negative samples land in bucket 0).
@@ -198,10 +187,7 @@ impl Histogram {
 
     /// Iterator over `(bucket_lower_bound, count)`.
     pub fn iter(&self) -> impl Iterator<Item = (f64, u64)> + '_ {
-        self.buckets
-            .iter()
-            .enumerate()
-            .map(move |(i, &c)| (i as f64 * self.width, c))
+        self.buckets.iter().enumerate().map(move |(i, &c)| (i as f64 * self.width, c))
     }
 }
 

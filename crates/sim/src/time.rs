@@ -386,10 +386,7 @@ mod tests {
         let d = SimDuration::for_bytes(250, 250_000_000);
         assert_eq!(d, SimDuration::from_micros(1));
         // zero bytes take zero time
-        assert_eq!(
-            SimDuration::for_bytes(0, 250_000_000),
-            SimDuration::ZERO
-        );
+        assert_eq!(SimDuration::for_bytes(0, 250_000_000), SimDuration::ZERO);
     }
 
     #[test]
@@ -425,9 +422,6 @@ mod tests {
     #[test]
     fn saturating_ops() {
         assert_eq!(SimTime::MAX.saturating_add(SimDuration::from_secs(1)), SimTime::MAX);
-        assert_eq!(
-            SimDuration::MAX.saturating_mul(3),
-            SimDuration::MAX
-        );
+        assert_eq!(SimDuration::MAX.saturating_mul(3), SimDuration::MAX);
     }
 }

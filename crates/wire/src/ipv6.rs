@@ -167,15 +167,26 @@ impl Ipv6Header {
 
     /// Appends the 40-byte wire encoding to `buf`.
     pub fn encode(&self, buf: &mut Vec<u8>) {
-        let vtf: u32 = (6u32 << 28)
-            | (u32::from(self.traffic_class) << 20)
-            | (self.flow_label & 0x000f_ffff);
-        buf.extend_from_slice(&vtf.to_be_bytes());
-        buf.extend_from_slice(&self.payload_len.to_be_bytes());
-        buf.push(self.next_header.code());
-        buf.push(self.hop_limit);
-        buf.extend_from_slice(&self.src.octets());
-        buf.extend_from_slice(&self.dst.octets());
+        let start = buf.len();
+        buf.resize(start + IPV6_HEADER_LEN, 0);
+        self.encode_into(&mut buf[start..]);
+    }
+
+    /// Writes the 40-byte wire encoding into the front of `buf`
+    /// (pre-reserved space, e.g. packet headroom).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `buf` is shorter than [`IPV6_HEADER_LEN`].
+    pub fn encode_into(&self, buf: &mut [u8]) {
+        let vtf: u32 =
+            (6u32 << 28) | (u32::from(self.traffic_class) << 20) | (self.flow_label & 0x000f_ffff);
+        buf[0..4].copy_from_slice(&vtf.to_be_bytes());
+        buf[4..6].copy_from_slice(&self.payload_len.to_be_bytes());
+        buf[6] = self.next_header.code();
+        buf[7] = self.hop_limit;
+        buf[8..24].copy_from_slice(&self.src.octets());
+        buf[24..40].copy_from_slice(&self.dst.octets());
     }
 
     /// Parses a header from the front of `data`, returning it and the
@@ -189,10 +200,7 @@ impl Ipv6Header {
     /// bytes actually present.
     pub fn parse(data: &[u8]) -> Result<(Ipv6Header, usize), ParseWireError> {
         if data.len() < IPV6_HEADER_LEN {
-            return Err(ParseWireError::Truncated {
-                needed: IPV6_HEADER_LEN,
-                have: data.len(),
-            });
+            return Err(ParseWireError::Truncated { needed: IPV6_HEADER_LEN, have: data.len() });
         }
         let vtf = u32::from_be_bytes([data[0], data[1], data[2], data[3]]);
         let version = (vtf >> 28) as u8;
@@ -261,10 +269,7 @@ mod tests {
         let mut buf = Vec::new();
         Ipv6Header::new(addr(1), addr(2), NextHeader::Tcp, 0).encode(&mut buf);
         buf[0] = 0x45; // IPv4-style first byte
-        assert_eq!(
-            Ipv6Header::parse(&buf),
-            Err(ParseWireError::BadVersion { found: 4 })
-        );
+        assert_eq!(Ipv6Header::parse(&buf), Err(ParseWireError::BadVersion { found: 4 }));
     }
 
     #[test]

@@ -85,9 +85,7 @@ impl SourceRoute {
     /// Splits off the first hop, as a Myrinet switch does when it
     /// consumes the leading route byte.
     pub fn split_first(&self) -> Option<(u8, SourceRoute)> {
-        self.hops
-            .split_first()
-            .map(|(&h, rest)| (h, SourceRoute { hops: rest.to_vec() }))
+        self.hops.split_first().map(|(&h, rest)| (h, SourceRoute { hops: rest.to_vec() }))
     }
 }
 
@@ -122,19 +120,14 @@ impl MyrinetHeader {
     /// declared route; [`ParseWireError::BadLength`] if the route length
     /// byte exceeds [`MYRINET_MAX_HOPS`].
     pub fn parse(data: &[u8]) -> Result<(MyrinetHeader, usize), ParseWireError> {
-        let (&n, rest) = data.split_first().ok_or(ParseWireError::Truncated {
-            needed: 3,
-            have: data.len(),
-        })?;
+        let (&n, rest) =
+            data.split_first().ok_or(ParseWireError::Truncated { needed: 3, have: data.len() })?;
         let n = usize::from(n);
         if n > MYRINET_MAX_HOPS {
             return Err(ParseWireError::BadLength);
         }
         if rest.len() < n + 2 {
-            return Err(ParseWireError::Truncated {
-                needed: 1 + n + 2,
-                have: data.len(),
-            });
+            return Err(ParseWireError::Truncated { needed: 1 + n + 2, have: data.len() });
         }
         let route = SourceRoute { hops: rest[..n].to_vec() };
         let packet_type = u16::from_be_bytes([rest[n], rest[n + 1]]);
@@ -161,11 +154,7 @@ impl MacAddr {
 impl fmt::Display for MacAddr {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         let o = self.0;
-        write!(
-            f,
-            "{:02x}:{:02x}:{:02x}:{:02x}:{:02x}:{:02x}",
-            o[0], o[1], o[2], o[3], o[4], o[5]
-        )
+        write!(f, "{:02x}:{:02x}:{:02x}:{:02x}:{:02x}:{:02x}", o[0], o[1], o[2], o[3], o[4], o[5])
     }
 }
 
@@ -233,10 +222,7 @@ mod tests {
 
     #[test]
     fn source_route_rejects_long_routes() {
-        assert_eq!(
-            SourceRoute::new(&[0u8; 16]),
-            Err(RouteTooLongError(16))
-        );
+        assert_eq!(SourceRoute::new(&[0u8; 16]), Err(RouteTooLongError(16)));
         assert!(SourceRoute::new(&[0u8; 15]).is_ok());
     }
 
@@ -257,19 +243,13 @@ mod tests {
     #[test]
     fn myrinet_rejects_truncated_route() {
         // declares 3 hops but has only 1 byte after
-        assert!(matches!(
-            MyrinetHeader::parse(&[3, 1]),
-            Err(ParseWireError::Truncated { .. })
-        ));
+        assert!(matches!(MyrinetHeader::parse(&[3, 1]), Err(ParseWireError::Truncated { .. })));
         assert!(matches!(MyrinetHeader::parse(&[]), Err(ParseWireError::Truncated { .. })));
     }
 
     #[test]
     fn myrinet_rejects_illegal_route_length() {
-        assert_eq!(
-            MyrinetHeader::parse(&[16, 0, 0]),
-            Err(ParseWireError::BadLength)
-        );
+        assert_eq!(MyrinetHeader::parse(&[16, 0, 0]), Err(ParseWireError::BadLength));
     }
 
     #[test]

@@ -211,22 +211,28 @@ impl TcpOptions {
         (n + 3) & !3
     }
 
-    fn encode(&self, buf: &mut Vec<u8>) {
-        let start = buf.len();
+    /// Writes the padded option block into `buf`, which must be exactly
+    /// [`Self::encoded_len`] bytes.
+    fn encode_into(&self, buf: &mut [u8]) {
+        debug_assert_eq!(buf.len(), self.encoded_len());
+        let mut at = 0;
         if let Some(mss) = self.mss {
-            buf.extend_from_slice(&[2, 4]);
-            buf.extend_from_slice(&mss.to_be_bytes());
+            buf[at..at + 2].copy_from_slice(&[2, 4]);
+            buf[at + 2..at + 4].copy_from_slice(&mss.to_be_bytes());
+            at += 4;
         }
         if let Some(ws) = self.window_scale {
-            buf.extend_from_slice(&[3, 3, ws]);
+            buf[at..at + 3].copy_from_slice(&[3, 3, ws]);
+            at += 3;
         }
         if let Some((tsval, tsecr)) = self.timestamps {
-            buf.extend_from_slice(&[8, 10]);
-            buf.extend_from_slice(&tsval.to_be_bytes());
-            buf.extend_from_slice(&tsecr.to_be_bytes());
+            buf[at..at + 2].copy_from_slice(&[8, 10]);
+            buf[at + 2..at + 6].copy_from_slice(&tsval.to_be_bytes());
+            buf[at + 6..at + 10].copy_from_slice(&tsecr.to_be_bytes());
+            at += 10;
         }
-        while !(buf.len() - start).is_multiple_of(4) {
-            buf.push(1); // NOP padding
+        for pad in &mut buf[at..] {
+            *pad = 1; // NOP padding
         }
     }
 
@@ -234,11 +240,10 @@ impl TcpOptions {
         let mut opts = TcpOptions::default();
         while let Some((&kind, rest)) = data.split_first() {
             match kind {
-                0 => break,          // end of options
-                1 => data = rest,    // NOP
+                0 => break,       // end of options
+                1 => data = rest, // NOP
                 _ => {
-                    let (&len, body) =
-                        rest.split_first().ok_or(ParseWireError::BadOption)?;
+                    let (&len, body) = rest.split_first().ok_or(ParseWireError::BadOption)?;
                     let len = usize::from(len);
                     if len < 2 || len - 2 > body.len() {
                         return Err(ParseWireError::BadOption);
@@ -324,17 +329,31 @@ impl TcpHeader {
     /// (checksum field zeroed) and patch it afterwards, as the firmware
     /// does.
     pub fn encode(&self, buf: &mut Vec<u8>) {
-        let data_offset_words = (self.encoded_len() / 4) as u8;
-        buf.extend_from_slice(&self.src_port.to_be_bytes());
-        buf.extend_from_slice(&self.dst_port.to_be_bytes());
-        buf.extend_from_slice(&self.seq.0.to_be_bytes());
-        buf.extend_from_slice(&self.ack.0.to_be_bytes());
-        buf.push(data_offset_words << 4);
-        buf.push(self.flags.to_byte());
-        buf.extend_from_slice(&self.window.to_be_bytes());
-        buf.extend_from_slice(&self.checksum.to_be_bytes());
-        buf.extend_from_slice(&self.urgent.to_be_bytes());
-        self.options.encode(buf);
+        let start = buf.len();
+        buf.resize(start + self.encoded_len(), 0);
+        self.encode_into(&mut buf[start..]);
+    }
+
+    /// Writes the wire encoding into the front of `buf` (pre-reserved
+    /// space, e.g. packet headroom). Checksum semantics as in
+    /// [`Self::encode`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `buf` is shorter than [`Self::encoded_len`].
+    pub fn encode_into(&self, buf: &mut [u8]) {
+        let len = self.encoded_len();
+        let data_offset_words = (len / 4) as u8;
+        buf[0..2].copy_from_slice(&self.src_port.to_be_bytes());
+        buf[2..4].copy_from_slice(&self.dst_port.to_be_bytes());
+        buf[4..8].copy_from_slice(&self.seq.0.to_be_bytes());
+        buf[8..12].copy_from_slice(&self.ack.0.to_be_bytes());
+        buf[12] = data_offset_words << 4;
+        buf[13] = self.flags.to_byte();
+        buf[14..16].copy_from_slice(&self.window.to_be_bytes());
+        buf[16..18].copy_from_slice(&self.checksum.to_be_bytes());
+        buf[18..20].copy_from_slice(&self.urgent.to_be_bytes());
+        self.options.encode_into(&mut buf[TCP_HEADER_MIN_LEN..len]);
     }
 
     /// Parses a header from the front of `data`, returning it and the
@@ -347,10 +366,7 @@ impl TcpHeader {
     /// [`ParseWireError::BadOption`] for malformed options.
     pub fn parse(data: &[u8]) -> Result<(TcpHeader, usize), ParseWireError> {
         if data.len() < TCP_HEADER_MIN_LEN {
-            return Err(ParseWireError::Truncated {
-                needed: TCP_HEADER_MIN_LEN,
-                have: data.len(),
-            });
+            return Err(ParseWireError::Truncated { needed: TCP_HEADER_MIN_LEN, have: data.len() });
         }
         let header_len = usize::from(data[12] >> 4) * 4;
         if !(TCP_HEADER_MIN_LEN..=TCP_HEADER_MAX_LEN).contains(&header_len)
@@ -428,10 +444,7 @@ mod tests {
     #[test]
     fn timestamps_only_roundtrip() {
         let h = TcpHeader {
-            options: TcpOptions {
-                timestamps: Some((5, 9)),
-                ..TcpOptions::default()
-            },
+            options: TcpOptions { timestamps: Some((5, 9)), ..TcpOptions::default() },
             ..header()
         };
         let mut buf = Vec::new();
@@ -474,10 +487,7 @@ mod tests {
 
     #[test]
     fn rejects_truncated() {
-        assert!(matches!(
-            TcpHeader::parse(&[0u8; 19]),
-            Err(ParseWireError::Truncated { .. })
-        ));
+        assert!(matches!(TcpHeader::parse(&[0u8; 19]), Err(ParseWireError::Truncated { .. })));
     }
 
     #[test]

@@ -47,20 +47,27 @@ impl UdpHeader {
     pub fn for_payload(src_port: u16, dst_port: u16, payload_len: usize) -> Self {
         let length = UDP_HEADER_LEN + payload_len;
         assert!(length <= usize::from(u16::MAX), "UDP datagram too large");
-        UdpHeader {
-            src_port,
-            dst_port,
-            length: length as u16,
-            checksum: 0,
-        }
+        UdpHeader { src_port, dst_port, length: length as u16, checksum: 0 }
     }
 
     /// Appends the 8-byte wire encoding to `buf`.
     pub fn encode(&self, buf: &mut Vec<u8>) {
-        buf.extend_from_slice(&self.src_port.to_be_bytes());
-        buf.extend_from_slice(&self.dst_port.to_be_bytes());
-        buf.extend_from_slice(&self.length.to_be_bytes());
-        buf.extend_from_slice(&self.checksum.to_be_bytes());
+        let start = buf.len();
+        buf.resize(start + UDP_HEADER_LEN, 0);
+        self.encode_into(&mut buf[start..]);
+    }
+
+    /// Writes the 8-byte wire encoding into the front of `buf`
+    /// (pre-reserved space, e.g. packet headroom).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `buf` is shorter than [`UDP_HEADER_LEN`].
+    pub fn encode_into(&self, buf: &mut [u8]) {
+        buf[0..2].copy_from_slice(&self.src_port.to_be_bytes());
+        buf[2..4].copy_from_slice(&self.dst_port.to_be_bytes());
+        buf[4..6].copy_from_slice(&self.length.to_be_bytes());
+        buf[6..8].copy_from_slice(&self.checksum.to_be_bytes());
     }
 
     /// Parses a header from the front of `data`.
@@ -72,10 +79,7 @@ impl UdpHeader {
     /// beyond the buffer.
     pub fn parse(data: &[u8]) -> Result<(UdpHeader, usize), ParseWireError> {
         if data.len() < UDP_HEADER_LEN {
-            return Err(ParseWireError::Truncated {
-                needed: UDP_HEADER_LEN,
-                have: data.len(),
-            });
+            return Err(ParseWireError::Truncated { needed: UDP_HEADER_LEN, have: data.len() });
         }
         let length = u16::from_be_bytes([data[4], data[5]]);
         if usize::from(length) < UDP_HEADER_LEN || usize::from(length) > data.len() {

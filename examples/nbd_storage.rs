@@ -18,11 +18,7 @@ fn show(name: &str, r: &NbdResult) {
 }
 
 fn main() {
-    let cfg = NbdConfig {
-        total_bytes: 16 * 1024 * 1024,
-        block: 64 * 1024,
-        queue_depth: 4,
-    };
+    let cfg = NbdConfig { total_bytes: 16 * 1024 * 1024, block: 64 * 1024, queue_depth: 4 };
     println!(
         "NBD benchmark: {} MB sequential write (+sync) then read, 64 KB blocks\n",
         cfg.total_bytes / (1024 * 1024)

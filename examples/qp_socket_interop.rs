@@ -26,17 +26,17 @@ fn main() {
     let mut qp_side = Engine::new(NetConfig::qpip(9000), addr(1));
     let mut sock_side = Engine::new(NetConfig::host(9000), addr(2));
     let mut now = SimTime::ZERO;
-    let mut wire: VecDeque<(bool, Vec<u8>)> = VecDeque::new();
+    let mut wire: VecDeque<(bool, qpip_wire::Packet)> = VecDeque::new();
     let mut from_qp: Vec<Vec<u8>> = Vec::new();
     let mut from_sock: Vec<u8> = Vec::new();
 
     sock_side.tcp_listen(80).unwrap();
     let (conn, emits) = qp_side.tcp_connect(now, 7000, Endpoint::new(addr(2), 80));
     let absorb = |to_sock: bool,
-                      emits: Vec<Emit>,
-                      wire: &mut VecDeque<(bool, Vec<u8>)>,
-                      from_qp: &mut Vec<Vec<u8>>,
-                      from_sock: &mut Vec<u8>| {
+                  emits: Vec<Emit>,
+                  wire: &mut VecDeque<(bool, qpip_wire::Packet)>,
+                  from_qp: &mut Vec<Vec<u8>>,
+                  from_sock: &mut Vec<u8>| {
         for e in emits {
             match e {
                 Emit::Packet(p) => wire.push_back((to_sock, p.bytes)),
@@ -59,11 +59,11 @@ fn main() {
     absorb(true, emits, &mut wire, &mut from_qp, &mut from_sock);
 
     let pump = |qp_side: &mut Engine,
-                    sock_side: &mut Engine,
-                    now: &mut SimTime,
-                    wire: &mut VecDeque<(bool, Vec<u8>)>,
-                    from_qp: &mut Vec<Vec<u8>>,
-                    _from_sock: &mut Vec<u8>| {
+                sock_side: &mut Engine,
+                now: &mut SimTime,
+                wire: &mut VecDeque<(bool, qpip_wire::Packet)>,
+                from_qp: &mut Vec<Vec<u8>>,
+                _from_sock: &mut Vec<u8>| {
         while let Some((to_sock, bytes)) = wire.pop_front() {
             *now += SimDuration::from_micros(5);
             let emits = if to_sock {
@@ -98,24 +98,21 @@ fn main() {
     pump(&mut qp_side, &mut sock_side, &mut now, &mut wire, &mut from_qp, &mut from_sock);
 
     // QP → socket: two distinct messages; the socket sees one stream.
-    for (i, msg) in [b"first message ".as_slice(), b"second message".as_slice()]
-        .into_iter()
-        .enumerate()
+    for (i, msg) in
+        [b"first message ".as_slice(), b"second message".as_slice()].into_iter().enumerate()
     {
-        let emits = qp_side
-            .tcp_send(now, conn, msg.to_vec(), SendToken(i as u64))
-            .unwrap();
+        let emits = qp_side.tcp_send(now, conn, msg.to_vec(), SendToken(i as u64)).unwrap();
         absorb(true, emits, &mut wire, &mut from_qp, &mut from_sock);
     }
     pump(&mut qp_side, &mut sock_side, &mut now, &mut wire, &mut from_qp, &mut from_sock);
     let stream: Vec<u8> = from_qp.iter().flatten().copied().collect();
-    println!(
-        "socket side read the byte stream: {:?}",
-        String::from_utf8_lossy(&stream)
-    );
+    println!("socket side read the byte stream: {:?}", String::from_utf8_lossy(&stream));
     println!(
         "(as §3 notes, the socket peer sees a conventional stream; message\n framing is the QP side's business)"
     );
     assert_eq!(stream, b"first message second message");
-    println!("\ninterop OK: {} packets crossed the wire", qp_side.stats().tx_packets + sock_side.stats().tx_packets);
+    println!(
+        "\ninterop OK: {} packets crossed the wire",
+        qp_side.stats().tx_packets + sock_side.stats().tx_packets
+    );
 }

@@ -20,9 +20,7 @@ fn main() {
     let scq = world.create_cq(server);
     let sqp = world.create_qp(server, ServiceType::ReliableTcp, scq, scq).unwrap();
     for i in 0..8 {
-        world
-            .post_recv(server, sqp, RecvWr { wr_id: i, capacity: 16 * 1024 })
-            .unwrap();
+        world.post_recv(server, sqp, RecvWr { wr_id: i, capacity: 16 * 1024 }).unwrap();
     }
     world.tcp_listen(server, 5000, sqp).unwrap();
 
@@ -32,9 +30,7 @@ fn main() {
     let ccq = world.create_cq(client);
     let cqp = world.create_qp(client, ServiceType::ReliableTcp, ccq, ccq).unwrap();
     for i in 0..8 {
-        world
-            .post_recv(client, cqp, RecvWr { wr_id: 100 + i, capacity: 16 * 1024 })
-            .unwrap();
+        world.post_recv(client, cqp, RecvWr { wr_id: 100 + i, capacity: 16 * 1024 }).unwrap();
     }
     let dst = Endpoint::new(world.addr(server), 5000);
     world.tcp_connect(client, cqp, 4000, dst).unwrap();
@@ -47,11 +43,11 @@ fn main() {
     // One request-response round trip, timed at the application.
     let t0 = world.app_time(client);
     world
-        .post_send(client, cqp, SendWr {
-            wr_id: 1,
-            payload: b"ping from the queue pair".to_vec(),
-            dst: None,
-        })
+        .post_send(
+            client,
+            cqp,
+            SendWr { wr_id: 1, payload: b"ping from the queue pair".to_vec(), dst: None },
+        )
         .unwrap();
     let c = world.wait_matching(server, scq, |c| matches!(c.kind, CompletionKind::Recv { .. }));
     if let CompletionKind::Recv { data, .. } = &c.kind {

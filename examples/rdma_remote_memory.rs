@@ -7,9 +7,7 @@
 //! Run with: `cargo run --example rdma_remote_memory`
 
 use qpip::world::QpipWorld;
-use qpip::{
-    CompletionKind, NicConfig, RdmaReadWr, RdmaWriteWr, RecvWr, SendWr, ServiceType,
-};
+use qpip::{CompletionKind, NicConfig, RdmaReadWr, RdmaWriteWr, RecvWr, SendWr, ServiceType};
 use qpip_netstack::types::Endpoint;
 
 fn main() {
@@ -35,11 +33,11 @@ fn main() {
     // send-receive operation" (§2.1).
     let region = w.register_mr(server, 64 * 1024);
     w.mr_write(server, region, 0, b"server-resident data, readable remotely");
-    w.post_send(server, qs, SendWr {
-        wr_id: 1,
-        payload: region.0.to_be_bytes().to_vec(),
-        dst: None,
-    })
+    w.post_send(
+        server,
+        qs,
+        SendWr { wr_id: 1, payload: region.0.to_be_bytes().to_vec(), dst: None },
+    )
     .unwrap();
     let c = w.wait_matching(client, cqc, |c| matches!(c.kind, CompletionKind::Recv { .. }));
     let CompletionKind::Recv { data, .. } = c.kind else { unreachable!() };
@@ -47,13 +45,7 @@ fn main() {
     println!("client learned remote region key {rkey} via send-receive");
 
     // RDMA Read: pull the server's bytes without its involvement.
-    w.post_rdma_read(client, qc, RdmaReadWr {
-        wr_id: 2,
-        len: 40,
-        rkey,
-        remote_offset: 0,
-    })
-    .unwrap();
+    w.post_rdma_read(client, qc, RdmaReadWr { wr_id: 2, len: 40, rkey, remote_offset: 0 }).unwrap();
     let c = w.wait_matching(client, cqc, |c| matches!(c.kind, CompletionKind::RdmaRead { .. }));
     if let CompletionKind::RdmaRead { data } = c.kind {
         println!("RDMA Read returned: {:?}", String::from_utf8_lossy(&data));
@@ -61,12 +53,16 @@ fn main() {
 
     // RDMA Write: push bytes straight into the server's memory.
     let t0 = w.app_time(client);
-    w.post_rdma_write(client, qc, RdmaWriteWr {
-        wr_id: 3,
-        data: b"written by the client, no server cycles spent".to_vec(),
-        rkey,
-        remote_offset: 1024,
-    })
+    w.post_rdma_write(
+        client,
+        qc,
+        RdmaWriteWr {
+            wr_id: 3,
+            data: b"written by the client, no server cycles spent".to_vec(),
+            rkey,
+            remote_offset: 1024,
+        },
+    )
     .unwrap();
     let c = w.wait_matching(client, cqc, |c| c.kind == CompletionKind::RdmaWrite);
     let elapsed = w.app_time(client).duration_since(t0);

@@ -1,0 +1,22 @@
+#!/usr/bin/env bash
+# One-command CI gate: build, test, lint, format.
+#
+# Everything runs against the whole workspace; clippy treats warnings
+# as errors so new code cannot regress the lint baseline, and rustfmt
+# enforces the style pinned in rustfmt.toml.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> cargo build --release --workspace"
+cargo build --release --workspace
+
+echo "==> cargo test --workspace"
+cargo test --workspace -q
+
+echo "==> cargo clippy --workspace --all-targets -- -D warnings"
+cargo clippy --workspace --all-targets -q -- -D warnings
+
+echo "==> cargo fmt --check"
+cargo fmt --check
+
+echo "All checks passed."

@@ -25,10 +25,7 @@ struct Incast {
 /// Builds a 2-senders → 1-receiver incast over Myrinet, with optional
 /// RED/ECN marking at the switch.
 fn incast(ecn: bool, mark_threshold: Option<SimDuration>) -> Incast {
-    let fabric = FabricConfig {
-        ecn_mark_threshold: mark_threshold,
-        ..FabricConfig::myrinet()
-    };
+    let fabric = FabricConfig { ecn_mark_threshold: mark_threshold, ..FabricConfig::myrinet() };
     let mut w = QpipWorld::new(fabric);
     let nic = NicConfig { ecn, ..NicConfig::paper_default() };
     let sink = w.add_node(nic.clone());
@@ -70,11 +67,11 @@ fn drive(rig: &mut Incast, messages: u64) -> u64 {
         for (i, (n, qp, cq)) in rig.senders.iter().enumerate() {
             while posted[i] < messages && posted[i] - done[i] < window {
                 rig.w
-                    .post_send(*n, *qp, SendWr {
-                        wr_id: posted[i],
-                        payload: vec![i as u8; size],
-                        dst: None,
-                    })
+                    .post_send(
+                        *n,
+                        *qp,
+                        SendWr { wr_id: posted[i], payload: vec![i as u8; size], dst: None },
+                    )
                     .unwrap();
                 posted[i] += 1;
             }
@@ -104,17 +101,9 @@ fn incast_with_ecn_signals_congestion_without_loss() {
     let delivered = drive(&mut rig, 40);
     assert_eq!(delivered, 80, "every message arrived");
     assert!(rig.w.fabric().ecn_marks() > 0, "the switch marked packets");
-    let reductions: u64 = rig
-        .senders
-        .iter()
-        .map(|(n, _, _)| rig.w.nic(*n).ecn_reductions())
-        .sum();
+    let reductions: u64 = rig.senders.iter().map(|(n, _, _)| rig.w.nic(*n).ecn_reductions()).sum();
     assert!(reductions >= 1, "senders reduced their windows");
-    let retx: u64 = rig
-        .senders
-        .iter()
-        .map(|(n, _, _)| rig.w.nic(*n).retransmissions())
-        .sum();
+    let retx: u64 = rig.senders.iter().map(|(n, _, _)| rig.w.nic(*n).retransmissions()).sum();
     assert_eq!(retx, 0, "congestion handled without a single retransmission");
 }
 
@@ -124,11 +113,7 @@ fn incast_without_ecn_never_marks_or_reduces() {
     let delivered = drive(&mut rig, 20);
     assert_eq!(delivered, 40);
     // the switch marks only ECN-capable packets; none were ECT
-    let reductions: u64 = rig
-        .senders
-        .iter()
-        .map(|(n, _, _)| rig.w.nic(*n).ecn_reductions())
-        .sum();
+    let reductions: u64 = rig.senders.iter().map(|(n, _, _)| rig.w.nic(*n).ecn_reductions()).sum();
     assert_eq!(reductions, 0);
 }
 

@@ -4,8 +4,7 @@
 
 use qpip::world::QpipWorld;
 use qpip::{
-    ChecksumMode, CompletionKind, CompletionStatus, NicConfig, NodeIdx, RecvWr, SendWr,
-    ServiceType,
+    ChecksumMode, CompletionKind, CompletionStatus, NicConfig, NodeIdx, RecvWr, SendWr, ServiceType,
 };
 use qpip_fabric::FaultPlan;
 use qpip_netstack::types::Endpoint;
@@ -67,8 +66,7 @@ fn data_integrity_end_to_end_across_the_san() {
         let len = 1 + (i as usize * 761) % 16_000;
         let payload: Vec<u8> = (0..len).map(|j| ((i as usize * 31 + j * 7) % 256) as u8).collect();
         p.w.post_recv(p.b, p.qb, RecvWr { wr_id: 200 + i, capacity: 16 * 1024 }).unwrap();
-        p.w.post_send(p.a, p.qa, SendWr { wr_id: i, payload: payload.clone(), dst: None })
-            .unwrap();
+        p.w.post_send(p.a, p.qa, SendWr { wr_id: i, payload: payload.clone(), dst: None }).unwrap();
         let c = p.w.wait_matching(p.b, p.cqb, |c| matches!(c.kind, CompletionKind::Recv { .. }));
         match c.kind {
             CompletionKind::Recv { data, .. } => assert_eq!(data, payload, "message {i}"),
@@ -135,8 +133,12 @@ fn udp_qps_are_unreliable_but_preserve_datagram_boundaries() {
         w.post_recv(b, qb, RecvWr { wr_id: i, capacity: 4096 }).unwrap();
     }
     for i in 0..4u64 {
-        w.post_send(a, qa, SendWr { wr_id: i, payload: vec![i as u8; 100 + i as usize], dst: Some(to_b) })
-            .unwrap();
+        w.post_send(
+            a,
+            qa,
+            SendWr { wr_id: i, payload: vec![i as u8; 100 + i as usize], dst: Some(to_b) },
+        )
+        .unwrap();
         w.wait_matching(a, cqa, |c| c.kind == CompletionKind::Send);
     }
     w.run_until_idle();
@@ -175,8 +177,7 @@ fn three_nodes_share_the_fabric() {
         w.post_recv(n, q, RecvWr { wr_id: 1, capacity: 8192 }).unwrap();
         w.tcp_connect(n, q, port, dst).unwrap();
         w.wait_matching(n, cq, |c| c.kind == CompletionKind::ConnectionEstablished);
-        w.post_send(n, q, SendWr { wr_id: 9, payload: vec![port as u8; 256], dst: None })
-            .unwrap();
+        w.post_send(n, q, SendWr { wr_id: 9, payload: vec![port as u8; 256], dst: None }).unwrap();
     }
     // the hub drains both peers' messages from the single CQ
     let mut got = Vec::new();
@@ -214,10 +215,8 @@ fn checksum_modes_interoperate() {
     // format is identical, only the cycle cost differs
     let mut w = QpipWorld::myrinet();
     let a = w.add_node(NicConfig::paper_default());
-    let b = w.add_node(NicConfig {
-        checksum: ChecksumMode::Firmware,
-        ..NicConfig::paper_default()
-    });
+    let b =
+        w.add_node(NicConfig { checksum: ChecksumMode::Firmware, ..NicConfig::paper_default() });
     let cqa = w.create_cq(a);
     let cqb = w.create_cq(b);
     let qa = w.create_qp(a, ServiceType::ReliableTcp, cqa, cqa).unwrap();
@@ -240,11 +239,8 @@ fn multi_switch_san_adds_hop_latency_but_works_identically() {
     // chain's far ends): everything still delivers; RTT grows by the
     // extra cut-through hop latency only
     let rtt_of = |switches: usize| {
-        let mut w = if switches == 1 {
-            QpipWorld::myrinet()
-        } else {
-            QpipWorld::myrinet_chain(switches)
-        };
+        let mut w =
+            if switches == 1 { QpipWorld::myrinet() } else { QpipWorld::myrinet_chain(switches) };
         let a = w.add_node_at(NicConfig::paper_default(), 0);
         let b = w.add_node_at(NicConfig::paper_default(), switches - 1);
         let cqa = w.create_cq(a);

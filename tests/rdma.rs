@@ -43,11 +43,11 @@ fn rig() -> Rig {
 
     // server registers memory and advertises the key in-band
     let region = w.register_mr(server, 64 * 1024);
-    w.post_send(server, qs, SendWr {
-        wr_id: 99,
-        payload: region.0.to_be_bytes().to_vec(),
-        dst: None,
-    })
+    w.post_send(
+        server,
+        qs,
+        SendWr { wr_id: 99, payload: region.0.to_be_bytes().to_vec(), dst: None },
+    )
     .unwrap();
     let c = w.wait_matching(client, cqc, |c| matches!(c.kind, CompletionKind::Recv { .. }));
     let CompletionKind::Recv { data, .. } = c.kind else { unreachable!() };
@@ -63,12 +63,11 @@ fn rig() -> Rig {
 fn rdma_write_places_data_without_involving_the_target() {
     let mut r = rig();
     let payload: Vec<u8> = (0..4096u32).map(|i| (i % 251) as u8).collect();
-    r.w.post_rdma_write(r.client, r.qc, RdmaWriteWr {
-        wr_id: 1,
-        data: payload.clone(),
-        rkey: r.region,
-        remote_offset: 512,
-    })
+    r.w.post_rdma_write(
+        r.client,
+        r.qc,
+        RdmaWriteWr { wr_id: 1, data: payload.clone(), rkey: r.region, remote_offset: 512 },
+    )
     .unwrap();
     // the WRITE completes at the initiator once acknowledged
     let c = r.w.wait_matching(r.client, r.cqc, |c| c.kind == CompletionKind::RdmaWrite);
@@ -86,14 +85,14 @@ fn rdma_read_fetches_remote_bytes() {
     let mut r = rig();
     let content: Vec<u8> = (0..8192u32).map(|i| (i % 241) as u8).collect();
     r.w.mr_write(r.server, r.region, 1024, &content);
-    r.w.post_rdma_read(r.client, r.qc, RdmaReadWr {
-        wr_id: 7,
-        len: 8192,
-        rkey: r.region,
-        remote_offset: 1024,
-    })
+    r.w.post_rdma_read(
+        r.client,
+        r.qc,
+        RdmaReadWr { wr_id: 7, len: 8192, rkey: r.region, remote_offset: 1024 },
+    )
     .unwrap();
-    let c = r.w.wait_matching(r.client, r.cqc, |c| matches!(c.kind, CompletionKind::RdmaRead { .. }));
+    let c =
+        r.w.wait_matching(r.client, r.cqc, |c| matches!(c.kind, CompletionKind::RdmaRead { .. }));
     assert_eq!(c.wr_id, 7);
     let CompletionKind::RdmaRead { data } = c.kind else { unreachable!() };
     assert_eq!(data, content);
@@ -105,12 +104,11 @@ fn rdma_read_fetches_remote_bytes() {
 #[test]
 fn rdma_and_send_receive_interleave_on_one_qp() {
     let mut r = rig();
-    r.w.post_rdma_write(r.client, r.qc, RdmaWriteWr {
-        wr_id: 1,
-        data: vec![0xaa; 256],
-        rkey: r.region,
-        remote_offset: 0,
-    })
+    r.w.post_rdma_write(
+        r.client,
+        r.qc,
+        RdmaWriteWr { wr_id: 1, data: vec![0xaa; 256], rkey: r.region, remote_offset: 0 },
+    )
     .unwrap();
     r.w.post_send(r.client, r.qc, SendWr { wr_id: 2, payload: b"notify".to_vec(), dst: None })
         .unwrap();
@@ -128,12 +126,11 @@ fn rdma_and_send_receive_interleave_on_one_qp() {
 #[test]
 fn bad_rkey_is_a_protection_error_that_kills_the_connection() {
     let mut r = rig();
-    r.w.post_rdma_write(r.client, r.qc, RdmaWriteWr {
-        wr_id: 1,
-        data: vec![1; 64],
-        rkey: MrKey(0xdead),
-        remote_offset: 0,
-    })
+    r.w.post_rdma_write(
+        r.client,
+        r.qc,
+        RdmaWriteWr { wr_id: 1, data: vec![1; 64], rkey: MrKey(0xdead), remote_offset: 0 },
+    )
     .unwrap();
     // the target tears the connection down (Infiniband protection
     // semantics); both sides observe the failure
@@ -145,20 +142,21 @@ fn bad_rkey_is_a_protection_error_that_kills_the_connection() {
 #[test]
 fn out_of_bounds_write_is_rejected() {
     let mut r = rig();
-    r.w.post_rdma_write(r.client, r.qc, RdmaWriteWr {
-        wr_id: 1,
-        data: vec![1; 4096],
-        rkey: r.region,
-        remote_offset: (64 * 1024 - 100) as u64, // runs past the region
-    })
+    r.w.post_rdma_write(
+        r.client,
+        r.qc,
+        RdmaWriteWr {
+            wr_id: 1,
+            data: vec![1; 4096],
+            rkey: r.region,
+            remote_offset: (64 * 1024 - 100) as u64, // runs past the region
+        },
+    )
     .unwrap();
     r.w.wait_matching(r.server, r.cqs, |c| c.kind == CompletionKind::PeerDisconnected);
     assert_eq!(r.w.nic(r.server).stats().rdma_protection_errors, 1);
     // nothing was written
-    assert_eq!(
-        r.w.mr_read(r.server, r.region, 64 * 1024 - 100, 100),
-        vec![0; 100]
-    );
+    assert_eq!(r.w.mr_read(r.server, r.region, 64 * 1024 - 100, 100), vec![0; 100]);
 }
 
 #[test]
@@ -168,12 +166,11 @@ fn rdma_verbs_require_an_rdma_enabled_nic() {
     let cq = w.create_cq(a);
     let qp = w.create_qp(a, ServiceType::ReliableTcp, cq, cq).unwrap();
     let err = w
-        .post_rdma_write(a, qp, RdmaWriteWr {
-            wr_id: 1,
-            data: vec![0; 8],
-            rkey: MrKey(1),
-            remote_offset: 0,
-        })
+        .post_rdma_write(
+            a,
+            qp,
+            RdmaWriteWr { wr_id: 1, data: vec![0; 8], rkey: MrKey(1), remote_offset: 0 },
+        )
         .unwrap_err();
     assert!(matches!(err, qpip::NicError::InvalidState(_)));
 }
@@ -182,12 +179,16 @@ fn rdma_verbs_require_an_rdma_enabled_nic() {
 fn many_rdma_writes_pipeline() {
     let mut r = rig();
     for i in 0..16u64 {
-        r.w.post_rdma_write(r.client, r.qc, RdmaWriteWr {
-            wr_id: i,
-            data: vec![i as u8; 1024],
-            rkey: r.region,
-            remote_offset: i * 1024,
-        })
+        r.w.post_rdma_write(
+            r.client,
+            r.qc,
+            RdmaWriteWr {
+                wr_id: i,
+                data: vec![i as u8; 1024],
+                rkey: r.region,
+                remote_offset: i * 1024,
+            },
+        )
         .unwrap();
     }
     let mut done = 0;
