@@ -1,0 +1,94 @@
+//! Many-flow fan-in scalability: N clients (64 → 4096, geometric)
+//! streaming into one QPIP server over Myrinet.
+//!
+//! Not a paper figure — a scalability check on the reproduction itself.
+//! The paper's SAN sessions are long-lived and numerous (§3); the engine
+//! must hold thousands of connections without per-flow cost growing with
+//! the fleet. Reported per scale: wall time, DES events/sec, events per
+//! flow (flatness metric), and the cost of one idle timer tick on the
+//! indexed engine vs a replica of the old scan-all-connections path.
+//!
+//! Flags: `--smoke` (small scales, for CI), `--json` (also write
+//! `BENCH_manyflow.json` to the current directory).
+
+use qpip_bench::report::{f1, f2, manyflow_json, Table};
+use qpip_bench::workloads::manyflow::{run_scale, ManyflowScale};
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let json = args.iter().any(|a| a == "--json");
+
+    let (scales, messages, message): (&[usize], usize, usize) =
+        if smoke { (&[16, 64], 2, 512) } else { (&[64, 256, 1024, 4096], 4, 1024) };
+
+    println!(
+        "Many-flow fan-in: N clients -> 1 server, {messages} x {message} B messages per flow\n"
+    );
+
+    let results: Vec<ManyflowScale> =
+        scales.iter().map(|&n| run_scale(n, messages, message)).collect();
+
+    let mut t = Table::new(
+        "Fan-in scalability",
+        &[
+            "flows",
+            "wall s",
+            "DES events",
+            "events/s",
+            "events/flow",
+            "tick scan ns",
+            "tick index ns",
+            "speedup",
+        ],
+    );
+    for r in &results {
+        t.row(&[
+            r.flows.to_string(),
+            format!("{:.3}", r.wall_s),
+            r.des_events.to_string(),
+            format!("{:.0}", r.des_events_per_sec),
+            f1(r.events_per_flow),
+            f1(r.timer.baseline_ns),
+            f1(r.timer.current_ns),
+            f2(r.timer.speedup()),
+        ]);
+    }
+    t.print();
+
+    let first = results.first().expect("at least one scale");
+    let last = results.last().expect("at least one scale");
+    let growth = last.events_per_flow / first.events_per_flow;
+    println!("\nShape checks:");
+    let check = |name: &str, ok: bool| {
+        println!("  [{}] {}", if ok { "ok" } else { "MISS" }, name);
+    };
+    check(
+        "every message delivered at every scale",
+        results.iter().all(|r| r.bytes_received == (r.flows * messages * message) as u64),
+    );
+    check(
+        &format!(
+            "events per flow roughly flat across {}x fleet growth ({:.1} -> {:.1}, x{:.2})",
+            last.flows / first.flows,
+            first.events_per_flow,
+            last.events_per_flow,
+            growth
+        ),
+        growth < 2.0,
+    );
+    check(
+        &format!(
+            "timer tick beats the scan replica at {} flows (x{:.1})",
+            last.flows,
+            last.timer.speedup()
+        ),
+        last.timer.speedup() >= 3.0,
+    );
+
+    if json {
+        let path = "BENCH_manyflow.json";
+        std::fs::write(path, manyflow_json(&results)).expect("write JSON report");
+        println!("\nwrote {path}");
+    }
+}

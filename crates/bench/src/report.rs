@@ -102,6 +102,51 @@ pub fn datapath_json(benches: &[crate::microbench::Comparison], metrics: &[(&str
     out
 }
 
+/// Renders the many-flow fan-in report as JSON, one object per fleet
+/// size plus summary metrics.
+///
+/// ```json
+/// {
+///   "scales": [
+///     {"flows": 64, "wall_s": 0.1, "des_events": 10000,
+///      "des_events_per_sec": 1.0e6, "events_per_flow": 156.2,
+///      "timer_scan_ns": 800.0, "timer_indexed_ns": 20.0,
+///      "timer_speedup": 40.0}
+///   ],
+///   "metrics": {"timer_speedup_at_max_flows": 40.0}
+/// }
+/// ```
+pub fn manyflow_json(scales: &[crate::workloads::manyflow::ManyflowScale]) -> String {
+    let mut out = String::from("{\n  \"scales\": [\n");
+    for (i, s) in scales.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"flows\": {}, \"wall_s\": {:.3}, \"des_events\": {}, \
+             \"des_events_per_sec\": {:.0}, \"events_per_flow\": {:.1}, \
+             \"timer_scan_ns\": {:.1}, \"timer_indexed_ns\": {:.1}, \
+             \"timer_speedup\": {:.2}}}{}\n",
+            s.flows,
+            s.wall_s,
+            s.des_events,
+            s.des_events_per_sec,
+            s.events_per_flow,
+            s.timer.baseline_ns,
+            s.timer.current_ns,
+            s.timer.speedup(),
+            if i + 1 < scales.len() { "," } else { "" },
+        ));
+    }
+    let speedup_at_max = scales.last().map_or(0.0, |s| s.timer.speedup());
+    let flatness = match (scales.first(), scales.last()) {
+        (Some(a), Some(b)) if a.events_per_flow > 0.0 => b.events_per_flow / a.events_per_flow,
+        _ => 0.0,
+    };
+    out.push_str("  ],\n  \"metrics\": {\n");
+    out.push_str(&format!("    \"timer_speedup_at_max_flows\": {speedup_at_max:.2},\n"));
+    out.push_str(&format!("    \"events_per_flow_growth\": {flatness:.3}\n"));
+    out.push_str("  }\n}\n");
+    out
+}
+
 /// Formats a float with one decimal.
 pub fn f1(v: f64) -> String {
     format!("{v:.1}")

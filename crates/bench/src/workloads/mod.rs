@@ -1,4 +1,5 @@
 //! Benchmark workloads: the traffic generators behind every figure.
 
+pub mod manyflow;
 pub mod pingpong;
 pub mod ttcp;

@@ -34,6 +34,9 @@ pub struct SocketWorld {
     sim: Simulator<WorldEvent>,
     fabric: Fabric,
     nodes: Vec<Node>,
+    /// Fabric port → node index (dense: ports are assigned in attach
+    /// order), so packet delivery is O(1) at any fleet size.
+    fabric_to_node: Vec<usize>,
 }
 
 impl core::fmt::Debug for SocketWorld {
@@ -48,7 +51,12 @@ impl core::fmt::Debug for SocketWorld {
 impl SocketWorld {
     /// Creates a world over the given fabric.
     pub fn new(fabric: FabricConfig) -> Self {
-        SocketWorld { sim: Simulator::new(), fabric: Fabric::new(fabric), nodes: Vec::new() }
+        SocketWorld {
+            sim: Simulator::new(),
+            fabric: Fabric::new(fabric),
+            nodes: Vec::new(),
+            fabric_to_node: Vec::new(),
+        }
     }
 
     /// The IP-over-Gigabit-Ethernet testbed (§4.2.1).
@@ -66,6 +74,8 @@ impl SocketWorld {
         let n = self.nodes.len();
         let addr = std::net::Ipv6Addr::new(0xfd00, 0, 0, 0, 0, 0, 0, (n + 1) as u16);
         let fabric_id = self.fabric.attach(addr);
+        debug_assert_eq!(fabric_id.0 as usize, self.fabric_to_node.len());
+        self.fabric_to_node.push(n);
         self.nodes.push(Node {
             stack: HostStack::new(cfg, addr),
             app_time: SimTime::ZERO,
@@ -392,11 +402,7 @@ impl SocketWorld {
                     let from = self.nodes[node].fabric_id;
                     match self.fabric.transmit(at, from, dst, bytes.len()) {
                         TransmitOutcome::Delivered { to, at: arrive, marked } => {
-                            let dest = self
-                                .nodes
-                                .iter()
-                                .position(|n| n.fabric_id == to)
-                                .expect("fabric node is a world node");
+                            let dest = self.fabric_to_node[to.0 as usize];
                             let mut bytes = bytes;
                             if marked
                                 && qpip_wire::ipv6::Ipv6Header::ecn_of_packet(&bytes)
@@ -463,6 +469,21 @@ impl SocketWorld {
     /// Fabric statistics.
     pub fn fabric(&self) -> &Fabric {
         &self.fabric
+    }
+
+    /// Traffic and drop counters of a node's in-kernel protocol engine.
+    pub fn engine_stats(&self, node: NodeIdx) -> qpip_netstack::engine::EngineStats {
+        self.nodes[node.0].stack.engine_stats()
+    }
+
+    /// Total discrete events the world's simulator has delivered.
+    pub fn events_processed(&self) -> u64 {
+        self.sim.events_processed()
+    }
+
+    /// Wall-clock drain rate of the event loop.
+    pub fn events_per_sec(&self) -> f64 {
+        self.sim.events_per_sec()
     }
 }
 

@@ -50,6 +50,9 @@ pub struct MixedWorld {
     sim: Simulator<Ev>,
     fabric: Fabric,
     nodes: Vec<Node>,
+    /// Fabric port → node index (dense: ports are assigned in attach
+    /// order), so packet delivery is O(1) at any fleet size.
+    fabric_to_node: Vec<usize>,
 }
 
 impl core::fmt::Debug for MixedWorld {
@@ -65,7 +68,12 @@ impl MixedWorld {
     /// Creates a mixed world over the given fabric. The fabric MTU must
     /// suit both node kinds (e.g. 9000 for Myrinet carrying both).
     pub fn new(fabric: FabricConfig) -> Self {
-        MixedWorld { sim: Simulator::new(), fabric: Fabric::new(fabric), nodes: Vec::new() }
+        MixedWorld {
+            sim: Simulator::new(),
+            fabric: Fabric::new(fabric),
+            nodes: Vec::new(),
+            fabric_to_node: Vec::new(),
+        }
     }
 
     /// Adds a QPIP node (stack in the NIC, queue-pair interface).
@@ -75,6 +83,8 @@ impl MixedWorld {
         let mut cfg = cfg;
         cfg.mtu = cfg.mtu.min(self.fabric.config().mtu);
         let fabric_id = self.fabric.attach(addr);
+        debug_assert_eq!(fabric_id.0 as usize, self.fabric_to_node.len());
+        self.fabric_to_node.push(n);
         self.nodes.push(Node {
             backend: Backend::Qpip {
                 nic: Box::new(QpipNic::new(cfg, addr)),
@@ -93,6 +103,8 @@ impl MixedWorld {
         let n = self.nodes.len();
         let addr = Ipv6Addr::new(0xfc00, 0, 0, 0, 0, 0, 0xbbbb, (n + 1) as u16);
         let fabric_id = self.fabric.attach(addr);
+        debug_assert_eq!(fabric_id.0 as usize, self.fabric_to_node.len());
+        self.fabric_to_node.push(n);
         self.nodes.push(Node {
             backend: Backend::Host {
                 stack: Box::new(HostStack::new(cfg, addr)),
@@ -116,6 +128,25 @@ impl MixedWorld {
     /// Current simulated time.
     pub fn now(&self) -> SimTime {
         self.sim.now()
+    }
+
+    /// Traffic and drop counters of a node's protocol engine, wherever
+    /// it runs (NIC firmware or host kernel).
+    pub fn engine_stats(&self, node: NodeIdx) -> qpip_netstack::engine::EngineStats {
+        match &self.nodes[node.0].backend {
+            Backend::Qpip { nic, .. } => nic.engine_stats(),
+            Backend::Host { stack, .. } => stack.engine_stats(),
+        }
+    }
+
+    /// Total discrete events the world's simulator has delivered.
+    pub fn events_processed(&self) -> u64 {
+        self.sim.events_processed()
+    }
+
+    /// Wall-clock drain rate of the event loop.
+    pub fn events_per_sec(&self) -> f64 {
+        self.sim.events_per_sec()
     }
 
     fn qpip(
@@ -460,11 +491,7 @@ impl MixedWorld {
         if let TransmitOutcome::Delivered { to, at: arrive, marked } =
             self.fabric.transmit(at, from, dst, bytes.len())
         {
-            let dest = self
-                .nodes
-                .iter()
-                .position(|n| n.fabric_id == to)
-                .expect("fabric node is a world node");
+            let dest = self.fabric_to_node[to.0 as usize];
             let mut bytes = bytes;
             if marked
                 && qpip_wire::ipv6::Ipv6Header::ecn_of_packet(&bytes)

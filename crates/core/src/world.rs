@@ -52,6 +52,9 @@ pub struct QpipWorld {
     sim: Simulator<WorldEvent>,
     fabric: Fabric,
     nodes: Vec<Node>,
+    /// Fabric port → node index (dense: ports are assigned in attach
+    /// order), so packet delivery is O(1) at any fleet size.
+    fabric_to_node: Vec<usize>,
 }
 
 impl core::fmt::Debug for QpipWorld {
@@ -67,7 +70,12 @@ impl QpipWorld {
     /// Creates a world over the given fabric (usually
     /// [`FabricConfig::myrinet`]).
     pub fn new(fabric: FabricConfig) -> Self {
-        QpipWorld { sim: Simulator::new(), fabric: Fabric::new(fabric), nodes: Vec::new() }
+        QpipWorld {
+            sim: Simulator::new(),
+            fabric: Fabric::new(fabric),
+            nodes: Vec::new(),
+            fabric_to_node: Vec::new(),
+        }
     }
 
     /// A Myrinet world with the QPIP native MTU (the paper's testbed).
@@ -81,6 +89,7 @@ impl QpipWorld {
             sim: Simulator::new(),
             fabric: Fabric::with_switches(FabricConfig::myrinet(), switches),
             nodes: Vec::new(),
+            fabric_to_node: Vec::new(),
         }
     }
 
@@ -98,6 +107,8 @@ impl QpipWorld {
         let mut cfg = nic_cfg;
         cfg.mtu = cfg.mtu.min(self.fabric.config().mtu);
         let fabric_id = self.fabric.attach_at(addr, switch);
+        debug_assert_eq!(fabric_id.0 as usize, self.fabric_to_node.len());
+        self.fabric_to_node.push(n);
         self.nodes.push(Node {
             nic: QpipNic::new(cfg, addr),
             cpu: CpuLedger::new(),
@@ -149,6 +160,23 @@ impl QpipWorld {
     /// Fabric statistics.
     pub fn fabric(&self) -> &Fabric {
         &self.fabric
+    }
+
+    /// Traffic and drop counters of a node's offloaded protocol engine
+    /// (rx/tx packets, checksum/demux/addr/parse drops).
+    pub fn engine_stats(&self, node: NodeIdx) -> qpip_netstack::engine::EngineStats {
+        self.nodes[node.0].nic.engine_stats()
+    }
+
+    /// Total discrete events the world's simulator has delivered.
+    pub fn events_processed(&self) -> u64 {
+        self.sim.events_processed()
+    }
+
+    /// Wall-clock drain rate of the event loop (events per real
+    /// second since the first delivery) — the benches' scaling metric.
+    pub fn events_per_sec(&self) -> f64 {
+        self.sim.events_per_sec()
     }
 
     /// Installs a fault plan on the fabric (tests).
@@ -454,11 +482,7 @@ impl QpipWorld {
                     let from = self.nodes[node].fabric_id;
                     match self.fabric.transmit(at, from, dst, bytes.len()) {
                         TransmitOutcome::Delivered { to, at: arrive, marked } => {
-                            let dest = self
-                                .nodes
-                                .iter()
-                                .position(|n| n.fabric_id == to)
-                                .expect("fabric node is a world node");
+                            let dest = self.fabric_to_node[to.0 as usize];
                             // RED/ECN: the switch marks ECN-capable
                             // packets instead of dropping (§5.2)
                             let mut bytes = bytes;

@@ -9,10 +9,11 @@
 //! `qpip-netstack`; the cost difference is that all of it runs on the
 //! 550 MHz host CPU instead of the NIC.
 
-use std::collections::{HashMap, VecDeque};
+use std::collections::VecDeque;
 use std::net::Ipv6Addr;
 
 use qpip_netstack::engine::Engine;
+use qpip_netstack::hash::FxHashMap;
 use qpip_netstack::types::{ConnId, Emit, Endpoint, NetConfig, SendToken};
 use qpip_nic::conventional::{ConvNicConfig, ConventionalNic};
 use qpip_sim::params;
@@ -222,10 +223,10 @@ pub struct HostStack {
     cpu: CpuLedger,
     nic: Option<ConventionalNic>,
     engine: Engine,
-    socks: HashMap<SockId, Sock>,
-    conn_to_sock: HashMap<ConnId, SockId>,
-    listen_to_sock: HashMap<u16, SockId>,
-    udp_to_sock: HashMap<u16, SockId>,
+    socks: FxHashMap<SockId, Sock>,
+    conn_to_sock: FxHashMap<ConnId, SockId>,
+    listen_to_sock: FxHashMap<u16, SockId>,
+    udp_to_sock: FxHashMap<u16, SockId>,
     next_sock: u32,
     next_token: u64,
 }
@@ -240,10 +241,10 @@ impl HostStack {
             cpu: CpuLedger::new(),
             nic,
             engine: Engine::new(net, addr),
-            socks: HashMap::new(),
-            conn_to_sock: HashMap::new(),
-            listen_to_sock: HashMap::new(),
-            udp_to_sock: HashMap::new(),
+            socks: FxHashMap::default(),
+            conn_to_sock: FxHashMap::default(),
+            listen_to_sock: FxHashMap::default(),
+            udp_to_sock: FxHashMap::default(),
             next_sock: 1,
             next_token: 1,
         }
@@ -272,6 +273,11 @@ impl HostStack {
     /// TCP retransmissions performed.
     pub fn retransmissions(&self) -> u64 {
         self.engine.retransmissions()
+    }
+
+    /// Traffic/drop counters of the embedded protocol engine.
+    pub fn engine_stats(&self) -> qpip_netstack::engine::EngineStats {
+        self.engine.stats()
     }
 
     // ----- socket lifecycle ---------------------------------------------

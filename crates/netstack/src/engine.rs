@@ -9,13 +9,15 @@
 //! socket nodes differ only in *where* the stack runs and what interface
 //! sits on top.
 
-use std::collections::HashMap;
 use std::net::Ipv6Addr;
 
 use qpip_sim::time::SimTime;
 
 use crate::codec::{build_tcp_packet, build_udp_packet, decode_packet, Decoded};
+use crate::hash::FxHashMap;
+use crate::slab::ConnSlab;
 use crate::tcp::tcb::{SegmentOut, Tcb, TcbEvent, TcpState};
+use crate::timer_index::TimerIndex;
 use crate::types::{
     ConnId, Emit, Endpoint, NetConfig, OpCounters, PacketKind, PacketOut, SendToken,
 };
@@ -72,6 +74,10 @@ pub struct EngineStats {
     pub demux_drops: u64,
     /// Packets dropped because the IPv6 destination was not ours.
     pub addr_drops: u64,
+    /// Packets dropped because they did not parse (truncated or
+    /// malformed headers — distinct from a checksum failure and from a
+    /// well-formed packet that matched no port).
+    pub parse_drops: u64,
 }
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -90,11 +96,15 @@ struct ConnEntry {
 pub struct Engine {
     cfg: NetConfig,
     local_addr: Ipv6Addr,
-    conns: HashMap<ConnId, ConnEntry>,
-    demux: HashMap<(Endpoint, Endpoint), ConnId>,
-    listeners: HashMap<u16, ()>,
-    udp_ports: HashMap<u16, ()>,
-    next_conn: u32,
+    /// Connection state, resolved by slot index (no hashing).
+    conns: ConnSlab<ConnEntry>,
+    /// (local, remote) endpoint pair → connection, for segment demux.
+    demux: FxHashMap<(Endpoint, Endpoint), ConnId>,
+    /// Armed timer deadlines; kept in sync with the TCBs after every
+    /// mutating call so `next_deadline` is a pure peek.
+    timers: TimerIndex,
+    listeners: FxHashMap<u16, ()>,
+    udp_ports: FxHashMap<u16, ()>,
     iss_counter: u32,
     ops: OpCounters,
     stats: EngineStats,
@@ -117,11 +127,11 @@ impl Engine {
         Engine {
             cfg,
             local_addr,
-            conns: HashMap::new(),
-            demux: HashMap::new(),
-            listeners: HashMap::new(),
-            udp_ports: HashMap::new(),
-            next_conn: 1,
+            conns: ConnSlab::new(),
+            demux: FxHashMap::default(),
+            timers: TimerIndex::new(),
+            listeners: FxHashMap::default(),
+            udp_ports: FxHashMap::default(),
             iss_counter: 0x1000,
             ops: OpCounters::new(),
             stats: EngineStats::default(),
@@ -156,23 +166,35 @@ impl Engine {
 
     /// State of a connection, if it still exists.
     pub fn conn_state(&self, conn: ConnId) -> Option<TcpState> {
-        self.conns.get(&conn).map(|e| e.tcb.state())
+        self.conns.get(conn).map(|e| e.tcb.state())
     }
 
     /// Smoothed RTT of a connection.
     pub fn conn_srtt(&self, conn: ConnId) -> Option<qpip_sim::time::SimDuration> {
-        self.conns.get(&conn).and_then(|e| e.tcb.srtt())
+        self.conns.get(conn).and_then(|e| e.tcb.srtt())
     }
 
     /// Bytes in flight on a connection.
     pub fn conn_bytes_in_flight(&self, conn: ConnId) -> Option<u64> {
-        self.conns.get(&conn).map(|e| e.tcb.bytes_in_flight())
+        self.conns.get(conn).map(|e| e.tcb.bytes_in_flight())
     }
 
     /// Bytes buffered (unacknowledged + unsent) on a connection — the
     /// socket layer's send-buffer occupancy.
     pub fn conn_bytes_buffered(&self, conn: ConnId) -> Option<u64> {
-        self.conns.get(&conn).map(|e| e.tcb.bytes_buffered())
+        self.conns.get(conn).map(|e| e.tcb.bytes_buffered())
+    }
+
+    /// Number of armed connection timers (diagnostic: must reach 0 once
+    /// every connection is closed and reaped).
+    pub fn timer_index_len(&self) -> usize {
+        self.timers.len()
+    }
+
+    /// Size of the endpoint-pair demux table (diagnostic: always equals
+    /// [`Engine::conn_count`] — every live connection is demuxable).
+    pub fn demux_len(&self) -> usize {
+        self.demux.len()
     }
 
     /// Total retransmissions across live connections.
@@ -256,7 +278,8 @@ impl Engine {
         let iss = self.next_iss();
         let (tcb, segs) = Tcb::connect(&self.cfg, local, remote, iss, now);
         let id = self.insert_conn(tcb, ConnOrigin::Active);
-        let emits = self.encode_segments(id, segs);
+        let mut emits = Vec::with_capacity(segs.len());
+        self.encode_segments_into(id, &segs, &mut emits);
         (id, emits)
     }
 
@@ -281,12 +304,15 @@ impl Engine {
                 return Err(EngineError::MessageTooLarge { len: data.len(), max });
             }
         }
-        let entry = self.conns.get_mut(&conn).ok_or(EngineError::UnknownConn(conn))?;
+        let entry = self.conns.get_mut(conn).ok_or(EngineError::UnknownConn(conn))?;
         if !entry.tcb.can_send() {
             return Err(EngineError::ConnectionClosing(conn));
         }
         let segs = entry.tcb.send(&self.cfg, data, token, now, &mut self.ops);
-        Ok(self.encode_segments(conn, segs))
+        self.sync_timer(conn);
+        let mut emits = Vec::with_capacity(segs.len());
+        self.encode_segments_into(conn, &segs, &mut emits);
+        Ok(emits)
     }
 
     /// Begins a graceful close.
@@ -295,9 +321,12 @@ impl Engine {
     ///
     /// [`EngineError::UnknownConn`] if the connection is gone.
     pub fn tcp_close(&mut self, now: SimTime, conn: ConnId) -> Result<Vec<Emit>, EngineError> {
-        let entry = self.conns.get_mut(&conn).ok_or(EngineError::UnknownConn(conn))?;
+        let entry = self.conns.get_mut(conn).ok_or(EngineError::UnknownConn(conn))?;
         let segs = entry.tcb.close(&self.cfg, now, &mut self.ops);
-        Ok(self.encode_segments(conn, segs))
+        self.sync_timer(conn);
+        let mut emits = Vec::with_capacity(segs.len());
+        self.encode_segments_into(conn, &segs, &mut emits);
+        Ok(emits)
     }
 
     /// Aborts with RST and removes the connection.
@@ -306,9 +335,10 @@ impl Engine {
     ///
     /// [`EngineError::UnknownConn`] if the connection is gone.
     pub fn tcp_abort(&mut self, _now: SimTime, conn: ConnId) -> Result<Vec<Emit>, EngineError> {
-        let mut entry = self.conns.remove(&conn).ok_or(EngineError::UnknownConn(conn))?;
+        let mut entry = self.conns.remove(conn).ok_or(EngineError::UnknownConn(conn))?;
         let rst = entry.tcb.abort();
         self.demux.remove(&(entry.tcb.local(), entry.tcb.remote()));
+        self.timers.update(conn, None);
         let remote = entry.tcb.remote();
         let local = entry.tcb.local();
         Ok(vec![self.encode_one(conn, local, remote, &rst)])
@@ -326,11 +356,13 @@ impl Engine {
         conn: ConnId,
         bytes: u64,
     ) -> Result<Vec<Emit>, EngineError> {
-        let entry = self.conns.get_mut(&conn).ok_or(EngineError::UnknownConn(conn))?;
+        let entry = self.conns.get_mut(conn).ok_or(EngineError::UnknownConn(conn))?;
         entry.tcb.set_recv_space(bytes);
         let upd = entry.tcb.window_update(now);
-        let segs: Vec<SegmentOut> = upd.into_iter().collect();
-        Ok(self.encode_segments(conn, segs))
+        self.sync_timer(conn);
+        let mut emits = Vec::with_capacity(upd.is_some() as usize);
+        self.encode_segments_into(conn, upd.as_slice(), &mut emits);
+        Ok(emits)
     }
 
     // ----- packet input --------------------------------------------------
@@ -345,7 +377,7 @@ impl Engine {
                 return Vec::new();
             }
             Err(_) => {
-                self.stats.demux_drops += 1;
+                self.stats.parse_drops += 1;
                 return Vec::new();
             }
         };
@@ -403,43 +435,52 @@ impl Engine {
                     let (tcb, segs) = Tcb::accept(&self.cfg, local, remote, tcp, iss, now);
                     let id =
                         self.insert_conn(tcb, ConnOrigin::Passive { listener_port: tcp.dst_port });
-                    return self.encode_segments(id, segs);
+                    let mut emits = Vec::with_capacity(segs.len());
+                    self.encode_segments_into(id, &segs, &mut emits);
+                    return emits;
                 }
                 self.stats.demux_drops += 1;
                 return Vec::new();
             }
         };
 
-        let entry = self.conns.get_mut(&conn).expect("demux points at live conn");
+        let entry = self.conns.get_mut(conn).expect("demux points at live conn");
         let (segs, events) =
             entry.tcb.on_segment_marked(&self.cfg, tcp, payload, ce, now, &mut self.ops);
-        let mut emits = self.translate_events(conn, events);
-        emits.extend(self.encode_segments(conn, segs));
+        self.sync_timer(conn);
+        let mut emits = Vec::with_capacity(events.len() + segs.len());
+        self.translate_events_into(conn, events, &mut emits);
+        self.encode_segments_into(conn, &segs, &mut emits);
         self.reap_if_closed(conn);
         emits
     }
 
     // ----- timers --------------------------------------------------------
 
-    /// The earliest timer deadline across all connections.
+    /// The earliest timer deadline across all connections: an O(1) peek
+    /// of the timer index (every mutating call re-syncs the index, so
+    /// it is always settled here).
     pub fn next_deadline(&self) -> Option<SimTime> {
-        self.conns.values().filter_map(|e| e.tcb.next_deadline()).min()
+        self.timers.peek().map(|(d, _)| d)
     }
 
-    /// Fires all due timers.
+    /// Fires all due timers, popping only due connections from the
+    /// timer index — connections whose deadlines lie ahead are never
+    /// visited.
     pub fn on_timer(&mut self, now: SimTime) -> Vec<Emit> {
-        let due: Vec<ConnId> = self
-            .conns
-            .iter()
-            .filter(|(_, e)| e.tcb.next_deadline().is_some_and(|d| d <= now))
-            .map(|(&id, _)| id)
-            .collect();
         let mut emits = Vec::new();
-        for conn in due {
-            let entry = self.conns.get_mut(&conn).expect("just enumerated");
+        while let Some((deadline, conn)) = self.timers.peek() {
+            if deadline > now {
+                break;
+            }
+            let entry = self.conns.get_mut(conn).expect("timer index points at live conn");
             let (segs, events) = entry.tcb.on_timer(&self.cfg, now, &mut self.ops);
-            emits.extend(self.translate_events(conn, events));
-            emits.extend(self.encode_segments(conn, segs));
+            // a fired TCB either disarms or re-arms strictly past `now`
+            // (min_rto > 0), so this loop pops each due entry once
+            debug_assert!(entry.tcb.next_deadline().is_none_or(|d| d > now));
+            self.sync_timer(conn);
+            self.translate_events_into(conn, events, &mut emits);
+            self.encode_segments_into(conn, &segs, &mut emits);
             self.reap_if_closed(conn);
         }
         emits
@@ -455,29 +496,42 @@ impl Engine {
     }
 
     fn insert_conn(&mut self, tcb: Tcb, origin: ConnOrigin) -> ConnId {
-        let id = ConnId(self.next_conn);
-        self.next_conn += 1;
-        self.demux.insert((tcb.local(), tcb.remote()), id);
-        self.conns.insert(id, ConnEntry { tcb, origin, established_reported: false });
+        let key = (tcb.local(), tcb.remote());
+        let id = self.conns.insert(ConnEntry { tcb, origin, established_reported: false });
+        self.demux.insert(key, id);
+        self.sync_timer(id);
+        debug_assert_eq!(self.demux.len(), self.conns.len());
         id
     }
 
+    /// Mirrors `conn`'s current TCB deadline into the timer index.
+    /// Called after every TCB-mutating operation so the index is always
+    /// settled when `next_deadline` peeks it; on a removed connection
+    /// this disarms the slot.
+    fn sync_timer(&mut self, conn: ConnId) {
+        let deadline = self.conns.get(conn).and_then(|e| e.tcb.next_deadline());
+        self.timers.update(conn, deadline);
+    }
+
     fn reap_if_closed(&mut self, conn: ConnId) {
-        if let Some(entry) = self.conns.get(&conn) {
-            if entry.tcb.state() == TcpState::Closed {
-                let key = (entry.tcb.local(), entry.tcb.remote());
-                self.demux.remove(&key);
-                self.conns.remove(&conn);
-            }
+        if self.conns.get(conn).is_some_and(|e| e.tcb.state() == TcpState::Closed) {
+            let entry = self.conns.remove(conn).expect("just resolved");
+            self.demux.remove(&(entry.tcb.local(), entry.tcb.remote()));
+            self.timers.update(conn, None);
+            debug_assert_eq!(self.demux.len(), self.conns.len());
         }
     }
 
-    fn translate_events(&mut self, conn: ConnId, events: Vec<TcbEvent>) -> Vec<Emit> {
-        let mut emits = Vec::new();
+    fn translate_events_into(
+        &mut self,
+        conn: ConnId,
+        events: Vec<TcbEvent>,
+        emits: &mut Vec<Emit>,
+    ) {
         for ev in events {
             match ev {
                 TcbEvent::Established => {
-                    let entry = self.conns.get_mut(&conn).expect("live conn");
+                    let entry = self.conns.get_mut(conn).expect("live conn");
                     if entry.established_reported {
                         continue;
                     }
@@ -498,16 +552,15 @@ impl Engine {
                 TcbEvent::Reset => emits.push(Emit::TcpReset { conn }),
             }
         }
-        emits
     }
 
-    fn encode_segments(&mut self, conn: ConnId, segs: Vec<SegmentOut>) -> Vec<Emit> {
-        let Some(entry) = self.conns.get(&conn) else {
-            return Vec::new();
+    fn encode_segments_into(&mut self, conn: ConnId, segs: &[SegmentOut], emits: &mut Vec<Emit>) {
+        let Some(entry) = self.conns.get(conn) else {
+            return;
         };
         let local = entry.tcb.local();
         let remote = entry.tcb.remote();
-        segs.iter().map(|s| self.encode_one(conn, local, remote, s)).collect()
+        emits.extend(segs.iter().map(|s| self.encode_one(conn, local, remote, s)));
     }
 
     fn encode_one(

@@ -57,7 +57,10 @@
 pub mod codec;
 pub mod engine;
 pub mod frag;
+pub mod hash;
+mod slab;
 pub mod tcp;
+mod timer_index;
 pub mod types;
 
 pub use engine::{Engine, EngineError, EngineStats};

@@ -1,0 +1,152 @@
+//! Generation-tagged slab for connection state.
+//!
+//! The engine's segment hot path resolves a [`ConnId`] on every
+//! received packet and every upper-layer call. A `HashMap<ConnId, _>`
+//! pays a hash + probe per resolution; at thousands of flows that is
+//! the dominant demux cost after the endpoint lookup. The slab makes
+//! resolution one bounds check + one generation compare: the id's low
+//! bits index a `Vec` directly, and the id's generation must match the
+//! slot's current generation (bumped on every removal), so an id from
+//! a reaped connection can never alias the slot's next occupant.
+//!
+//! Same slot+generation discipline as `qpip_sim::kernel::Simulator`'s
+//! event ids — stale handles are rejected, not misdelivered.
+
+use crate::types::ConnId;
+
+#[derive(Debug)]
+struct Slot<T> {
+    /// Current generation; ids minted for this slot carry it.
+    generation: u32,
+    val: Option<T>,
+}
+
+/// A slab of connection entries indexed by [`ConnId`].
+#[derive(Debug)]
+pub(crate) struct ConnSlab<T> {
+    slots: Vec<Slot<T>>,
+    /// LIFO free list of vacant slot indices.
+    free: Vec<u32>,
+    live: usize,
+}
+
+impl<T> ConnSlab<T> {
+    pub fn new() -> Self {
+        ConnSlab { slots: Vec::new(), free: Vec::new(), live: 0 }
+    }
+
+    /// Number of live entries.
+    pub fn len(&self) -> usize {
+        self.live
+    }
+
+    /// Inserts an entry, returning its id (slot + current generation).
+    pub fn insert(&mut self, val: T) -> ConnId {
+        let slot = match self.free.pop() {
+            Some(s) => s,
+            None => {
+                let s = self.slots.len() as u32;
+                assert!(s <= ConnId::SLOT_MASK, "connection slab full");
+                self.slots.push(Slot { generation: 1, val: None });
+                s
+            }
+        };
+        let entry = &mut self.slots[slot as usize];
+        debug_assert!(entry.val.is_none());
+        entry.val = Some(val);
+        self.live += 1;
+        ConnId::from_parts(slot, entry.generation)
+    }
+
+    fn slot_of(&self, id: ConnId) -> Option<usize> {
+        let s = id.slot() as usize;
+        (self.slots.get(s)?.generation == id.generation()).then_some(s)
+    }
+
+    /// Resolves a live id; stale (reaped) ids return `None`.
+    pub fn get(&self, id: ConnId) -> Option<&T> {
+        self.slots[self.slot_of(id)?].val.as_ref()
+    }
+
+    /// Mutable resolution of a live id.
+    pub fn get_mut(&mut self, id: ConnId) -> Option<&mut T> {
+        let s = self.slot_of(id)?;
+        self.slots[s].val.as_mut()
+    }
+
+    /// Removes an entry, bumping the slot's generation so the id (and
+    /// any copy of it held elsewhere) goes stale immediately.
+    pub fn remove(&mut self, id: ConnId) -> Option<T> {
+        let s = self.slot_of(id)?;
+        let entry = &mut self.slots[s];
+        let val = entry.val.take()?;
+        entry.generation =
+            if entry.generation == ConnId::GEN_MAX { 1 } else { entry.generation + 1 };
+        self.free.push(s as u32);
+        self.live -= 1;
+        Some(val)
+    }
+
+    /// Live entries in slot order (deterministic, unlike a hash map).
+    #[cfg(test)]
+    pub fn iter(&self) -> impl Iterator<Item = (ConnId, &T)> {
+        self.slots.iter().enumerate().filter_map(|(i, s)| {
+            s.val.as_ref().map(|v| (ConnId::from_parts(i as u32, s.generation), v))
+        })
+    }
+
+    /// Live values in slot order.
+    pub fn values(&self) -> impl Iterator<Item = &T> {
+        self.slots.iter().filter_map(|s| s.val.as_ref())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_get_remove_roundtrip() {
+        let mut s: ConnSlab<&str> = ConnSlab::new();
+        let a = s.insert("a");
+        let b = s.insert("b");
+        assert_eq!(s.len(), 2);
+        assert_eq!(s.get(a), Some(&"a"));
+        assert_eq!(s.get_mut(b), Some(&mut "b"));
+        assert_eq!(s.remove(a), Some("a"));
+        assert_eq!(s.len(), 1);
+        assert_eq!(s.get(a), None, "removed id is dead");
+        assert_eq!(s.remove(a), None, "double remove is a no-op");
+    }
+
+    #[test]
+    fn reused_slot_rejects_stale_id() {
+        let mut s: ConnSlab<u32> = ConnSlab::new();
+        let a = s.insert(1);
+        s.remove(a);
+        let b = s.insert(2);
+        assert_eq!(a.slot(), b.slot(), "LIFO free list reuses the slot");
+        assert_ne!(a, b, "but the generation differs");
+        assert_eq!(s.get(a), None);
+        assert_eq!(s.get(b), Some(&2));
+    }
+
+    #[test]
+    fn ids_are_never_zero() {
+        let mut s: ConnSlab<u8> = ConnSlab::new();
+        let a = s.insert(0);
+        assert_ne!(a, ConnId(0));
+    }
+
+    #[test]
+    fn iteration_is_slot_ordered() {
+        let mut s: ConnSlab<u32> = ConnSlab::new();
+        let ids: Vec<ConnId> = (0..10).map(|i| s.insert(i)).collect();
+        s.remove(ids[3]);
+        s.remove(ids[7]);
+        let vals: Vec<u32> = s.values().copied().collect();
+        assert_eq!(vals, vec![0, 1, 2, 4, 5, 6, 8, 9]);
+        let keys: Vec<ConnId> = s.iter().map(|(id, _)| id).collect();
+        assert!(keys.windows(2).all(|w| w[0].slot() < w[1].slot()));
+    }
+}

@@ -1,0 +1,225 @@
+//! Indexed min-heap over per-connection timer deadlines.
+//!
+//! Before this index existed, `Engine::next_deadline()` scanned every
+//! connection for the minimum TCB deadline and `on_timer()` re-scanned
+//! for due ones. The worlds call `next_deadline()` after *every*
+//! absorbed NIC/stack output to reschedule the node's timer event, so
+//! per-event cost grew linearly with flow count and whole-run cost
+//! quadratically — fatal for the fan-in regime the paper targets.
+//!
+//! The index keeps one entry per connection with an armed timer, keyed
+//! by the connection's slab slot:
+//!
+//! * `peek()` — the earliest deadline, O(1);
+//! * `update(conn, deadline)` — insert / reschedule / disarm, O(log n)
+//!   via a position map (`pos[slot]` → heap index), the classic
+//!   decrease-key trick;
+//! * `on_timer` pops only entries with `deadline <= now`.
+//!
+//! Ties break on the connection id, so firing order is deterministic —
+//! unlike the hash-map scan it replaces, whose order varied per
+//! process. (Engine behaviour does not depend on same-instant firing
+//! order — each TCB's timer touches only its own connection — but
+//! determinism here keeps whole-run traces reproducible by
+//! construction rather than by accident.)
+
+use qpip_sim::time::SimTime;
+
+use crate::types::ConnId;
+
+/// `pos` sentinel: this slot has no armed timer.
+const ABSENT: u32 = u32::MAX;
+
+/// Min-heap of `(deadline, conn)` with per-slot positions.
+#[derive(Debug, Default)]
+pub(crate) struct TimerIndex {
+    heap: Vec<(SimTime, ConnId)>,
+    /// Slab slot → index into `heap`, or [`ABSENT`].
+    pos: Vec<u32>,
+}
+
+impl TimerIndex {
+    pub fn new() -> Self {
+        TimerIndex::default()
+    }
+
+    /// Number of armed timers (tests assert this reaches 0 at teardown).
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// The earliest (deadline, connection), without popping.
+    pub fn peek(&self) -> Option<(SimTime, ConnId)> {
+        self.heap.first().copied()
+    }
+
+    /// Sets or clears the deadline for `conn`. `None` disarms.
+    pub fn update(&mut self, conn: ConnId, deadline: Option<SimTime>) {
+        let slot = conn.slot() as usize;
+        if slot >= self.pos.len() {
+            self.pos.resize(slot + 1, ABSENT);
+        }
+        let cur = self.pos[slot];
+        match (cur, deadline) {
+            (ABSENT, None) => {}
+            (ABSENT, Some(d)) => {
+                self.heap.push((d, conn));
+                let i = self.heap.len() - 1;
+                self.pos[slot] = i as u32;
+                self.sift_up(i);
+            }
+            (i, None) => self.remove_at(i as usize),
+            (i, Some(d)) => {
+                let i = i as usize;
+                debug_assert_eq!(
+                    self.heap[i].1, conn,
+                    "slot owned by a different generation — missing disarm on reap"
+                );
+                if self.heap[i].0 == d {
+                    return;
+                }
+                self.heap[i].0 = d;
+                let i = self.sift_up(i);
+                self.sift_down(i);
+            }
+        }
+    }
+
+    fn remove_at(&mut self, i: usize) {
+        let last = self.heap.len() - 1;
+        self.pos[self.heap[i].1.slot() as usize] = ABSENT;
+        self.heap.swap(i, last);
+        self.heap.pop();
+        if i < last {
+            self.pos[self.heap[i].1.slot() as usize] = i as u32;
+            let i = self.sift_up(i);
+            self.sift_down(i);
+        }
+    }
+
+    /// Heap order: deadline, then connection id (deterministic ties).
+    fn key(&self, i: usize) -> (SimTime, u32) {
+        let (d, c) = self.heap[i];
+        (d, c.0)
+    }
+
+    fn place(&mut self, a: usize, b: usize) {
+        self.heap.swap(a, b);
+        self.pos[self.heap[a].1.slot() as usize] = a as u32;
+        self.pos[self.heap[b].1.slot() as usize] = b as u32;
+    }
+
+    fn sift_up(&mut self, mut i: usize) -> usize {
+        while i > 0 {
+            let parent = (i - 1) / 2;
+            if self.key(i) >= self.key(parent) {
+                break;
+            }
+            self.place(i, parent);
+            i = parent;
+        }
+        i
+    }
+
+    fn sift_down(&mut self, mut i: usize) {
+        loop {
+            let mut min = i;
+            for child in [2 * i + 1, 2 * i + 2] {
+                if child < self.heap.len() && self.key(child) < self.key(min) {
+                    min = child;
+                }
+            }
+            if min == i {
+                return;
+            }
+            self.place(i, min);
+            i = min;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(us: u64) -> SimTime {
+        SimTime::ZERO + qpip_sim::time::SimDuration::from_micros(us)
+    }
+
+    fn drain(idx: &mut TimerIndex) -> Vec<(SimTime, ConnId)> {
+        let mut out = Vec::new();
+        while let Some(e) = idx.peek() {
+            out.push(e);
+            idx.update(e.1, None);
+        }
+        out
+    }
+
+    #[test]
+    fn pops_in_deadline_then_id_order() {
+        let mut idx = TimerIndex::new();
+        let ids: Vec<ConnId> = (0..6).map(|s| ConnId::from_parts(s, 1)).collect();
+        idx.update(ids[3], Some(t(50)));
+        idx.update(ids[0], Some(t(10)));
+        idx.update(ids[5], Some(t(10)));
+        idx.update(ids[1], Some(t(30)));
+        idx.update(ids[4], Some(t(20)));
+        let order: Vec<ConnId> = drain(&mut idx).into_iter().map(|(_, c)| c).collect();
+        assert_eq!(order, vec![ids[0], ids[5], ids[4], ids[1], ids[3]]);
+        assert_eq!(idx.len(), 0);
+    }
+
+    #[test]
+    fn reschedule_moves_both_directions() {
+        let mut idx = TimerIndex::new();
+        let a = ConnId::from_parts(0, 1);
+        let b = ConnId::from_parts(1, 1);
+        idx.update(a, Some(t(10)));
+        idx.update(b, Some(t(20)));
+        idx.update(a, Some(t(30))); // increase-key: b surfaces
+        assert_eq!(idx.peek(), Some((t(20), b)));
+        idx.update(a, Some(t(5))); // decrease-key: a surfaces
+        assert_eq!(idx.peek(), Some((t(5), a)));
+        idx.update(a, Some(t(5))); // no-op reschedule
+        assert_eq!(idx.peek(), Some((t(5), a)));
+    }
+
+    #[test]
+    fn disarm_is_idempotent_and_removes_mid_heap() {
+        let mut idx = TimerIndex::new();
+        let ids: Vec<ConnId> = (0..5).map(|s| ConnId::from_parts(s, 1)).collect();
+        for (i, &id) in ids.iter().enumerate() {
+            idx.update(id, Some(t(10 * (i as u64 + 1))));
+        }
+        idx.update(ids[2], None);
+        idx.update(ids[2], None); // already absent
+        assert_eq!(idx.len(), 4);
+        let order: Vec<ConnId> = drain(&mut idx).into_iter().map(|(_, c)| c).collect();
+        assert_eq!(order, vec![ids[0], ids[1], ids[3], ids[4]]);
+    }
+
+    #[test]
+    fn randomized_against_scan_reference() {
+        // SplitMix64-driven ops; the index must always agree with a
+        // brute-force min-scan over a reference map.
+        let mut rng = qpip_sim::rng::SplitMix64::new(0xbeef);
+        let mut idx = TimerIndex::new();
+        let mut reference: Vec<Option<SimTime>> = vec![None; 64];
+        for _ in 0..4000 {
+            let slot = rng.range_usize(0, 63) as u32;
+            let id = ConnId::from_parts(slot, 1);
+            if rng.flip() {
+                let d = t(rng.range_usize(0, 1000) as u64);
+                idx.update(id, Some(d));
+                reference[slot as usize] = Some(d);
+            } else {
+                idx.update(id, None);
+                reference[slot as usize] = None;
+            }
+            let want =
+                reference.iter().enumerate().filter_map(|(s, d)| d.map(|d| (d, s as u32))).min();
+            assert_eq!(idx.peek().map(|(d, c)| (d, c.slot())), want);
+            assert_eq!(idx.len(), reference.iter().flatten().count());
+        }
+    }
+}

@@ -30,8 +30,35 @@ impl fmt::Display for Endpoint {
 }
 
 /// Identifier of a TCP connection inside one [`crate::engine::Engine`].
+///
+/// The value packs a slab slot (low 20 bits) and a slot generation
+/// (high 12 bits, never 0) so the engine resolves an id with one
+/// bounds-checked array access instead of a hash lookup, while stale
+/// ids from a reaped connection are rejected by the generation check
+/// rather than silently matching the slot's next occupant.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct ConnId(pub u32);
+
+impl ConnId {
+    pub(crate) const SLOT_BITS: u32 = 20;
+    pub(crate) const SLOT_MASK: u32 = (1 << Self::SLOT_BITS) - 1;
+    /// Generations wrap within 12 bits, skipping 0 so no live id is 0.
+    pub(crate) const GEN_MAX: u32 = (1 << (32 - Self::SLOT_BITS)) - 1;
+
+    pub(crate) fn from_parts(slot: u32, generation: u32) -> ConnId {
+        debug_assert!(slot <= Self::SLOT_MASK);
+        debug_assert!((1..=Self::GEN_MAX).contains(&generation));
+        ConnId((generation << Self::SLOT_BITS) | slot)
+    }
+
+    pub(crate) fn slot(self) -> u32 {
+        self.0 & Self::SLOT_MASK
+    }
+
+    pub(crate) fn generation(self) -> u32 {
+        self.0 >> Self::SLOT_BITS
+    }
+}
 
 impl fmt::Display for ConnId {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {

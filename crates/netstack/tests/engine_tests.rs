@@ -326,6 +326,24 @@ fn corrupted_packet_increments_checksum_drops() {
 }
 
 #[test]
+fn truncated_packet_increments_parse_drops_not_demux() {
+    let mut a = Engine::new(NetConfig::qpip(9000), addr(1));
+    let mut b = Engine::new(NetConfig::qpip(9000), addr(2));
+    a.udp_bind(7).unwrap();
+    b.udp_bind(7).unwrap();
+    let Emit::Packet(p) = a.udp_send(7, Endpoint::new(addr(2), 7), b"data").unwrap() else {
+        unreachable!()
+    };
+    // header chopped mid-IPv6: a malformed packet, not a misrouted one
+    let bytes = &p.bytes[..10];
+    assert!(b.on_packet(SimTime::ZERO, bytes).is_empty());
+    let stats = b.stats();
+    assert_eq!(stats.parse_drops, 1);
+    assert_eq!(stats.demux_drops, 0);
+    assert_eq!(stats.checksum_drops, 0);
+}
+
+#[test]
 fn ops_counters_accumulate_and_reset() {
     let mut w = Wire::new(NetConfig::qpip(16 * 1024), NetConfig::qpip(16 * 1024));
     let (ca, _) = w.connect();

@@ -1,0 +1,216 @@
+//! Many-flow correctness: 256+ concurrent connections through one
+//! engine pair under seeded loss and reordering. Every flow must
+//! deliver its bytes exactly once and in order, every send token must
+//! complete exactly once, and after all flows close the connection
+//! slab, demux table, and timer index must all drain to empty — a
+//! leaked timer or slab entry here means the O(1) index and the
+//! connection table have fallen out of sync.
+
+use std::collections::{HashMap, VecDeque};
+use std::net::Ipv6Addr;
+
+use qpip_netstack::engine::Engine;
+use qpip_netstack::tcp::TcpState;
+use qpip_netstack::types::{ConnId, Emit, Endpoint, NetConfig, SendToken};
+use qpip_sim::rng::SplitMix64;
+use qpip_sim::time::{SimDuration, SimTime};
+
+const FLOWS: usize = 256;
+const MSGS: usize = 2;
+const BASE_PORT: u16 = 1024;
+
+fn addr(n: u16) -> Ipv6Addr {
+    Ipv6Addr::new(0xfc00, 0, 0, 0, 0, 0, 0, n)
+}
+
+/// A wire with seeded loss and adjacent-packet reordering between a
+/// client engine (all flows originate here) and a server engine.
+struct Net {
+    a: Engine,
+    b: Engine,
+    now: SimTime,
+    queue: VecDeque<(bool, qpip_wire::Packet)>,
+    rng: SplitMix64,
+    /// Server-side conn → flow index (from the accepted peer port).
+    flow_of: HashMap<u32, usize>,
+    /// Per-flow bytes delivered to the server.
+    delivered: Vec<Vec<u8>>,
+    /// Client-side send-completion tokens, in arrival order.
+    completions: Vec<u64>,
+}
+
+impl Net {
+    fn new(seed: u64) -> Self {
+        let cfg = NetConfig::qpip(16 * 1024);
+        Net {
+            a: Engine::new(cfg.clone(), addr(1)),
+            b: Engine::new(cfg, addr(2)),
+            now: SimTime::ZERO,
+            queue: VecDeque::new(),
+            rng: SplitMix64::new(seed),
+            flow_of: HashMap::new(),
+            delivered: vec![Vec::new(); FLOWS],
+            completions: Vec::new(),
+        }
+    }
+
+    fn absorb(&mut self, from_a: bool, emits: Vec<Emit>) {
+        for e in emits {
+            match e {
+                Emit::Packet(p) => {
+                    // 2% loss; never enough consecutive drops on one
+                    // segment to exhaust TCP's retry limit
+                    if self.rng.chance(1, 50) {
+                        continue;
+                    }
+                    self.queue.push_back((from_a, p.bytes));
+                    // 12.5% chance the packet overtakes its predecessor
+                    let n = self.queue.len();
+                    if n >= 2 && self.rng.chance(1, 8) {
+                        self.queue.swap(n - 1, n - 2);
+                    }
+                }
+                Emit::TcpAccepted { conn, peer, .. } => {
+                    assert!(!from_a, "only the server accepts");
+                    let flow = (peer.port - BASE_PORT) as usize;
+                    assert!(self.flow_of.insert(conn.0, flow).is_none(), "duplicate accept");
+                }
+                Emit::TcpDelivered { conn, data } => {
+                    assert!(!from_a, "only the server receives data");
+                    let flow = self.flow_of[&conn.0];
+                    self.delivered[flow].extend(data);
+                }
+                Emit::TcpSendComplete { token, .. } => {
+                    assert!(from_a, "only the client sends");
+                    self.completions.push(token.0);
+                }
+                _ => {}
+            }
+        }
+    }
+
+    fn drain(&mut self) {
+        while let Some((to_b, bytes)) = self.queue.pop_front() {
+            self.now += SimDuration::from_micros(3);
+            if to_b {
+                let e = self.b.on_packet(self.now, &bytes);
+                self.absorb(false, e);
+            } else {
+                let e = self.a.on_packet(self.now, &bytes);
+                self.absorb(true, e);
+            }
+        }
+        self.assert_table_invariants();
+    }
+
+    fn fire_timers(&mut self) -> bool {
+        let next = [self.a.next_deadline(), self.b.next_deadline()].into_iter().flatten().min();
+        let Some(d) = next else { return false };
+        self.now = self.now.max(d);
+        let ea = self.a.on_timer(self.now);
+        self.absorb(true, ea);
+        let eb = self.b.on_timer(self.now);
+        self.absorb(false, eb);
+        self.drain();
+        true
+    }
+
+    /// The slab, demux table, and timer index must agree at all times.
+    fn assert_table_invariants(&self) {
+        for e in [&self.a, &self.b] {
+            assert_eq!(e.demux_len(), e.conn_count(), "demux and slab out of sync");
+            assert!(
+                e.timer_index_len() <= e.conn_count(),
+                "timer index holds more entries than live connections"
+            );
+        }
+    }
+}
+
+#[test]
+fn many_flows_survive_loss_and_reorder_then_drain() {
+    let mut n = Net::new(0x9af1_4e57);
+    n.b.tcp_listen(80).unwrap();
+
+    // connect storm: every flow dials at once
+    let mut conns = Vec::with_capacity(FLOWS);
+    for i in 0..FLOWS {
+        let (c, emits) = n.a.tcp_connect(n.now, BASE_PORT + i as u16, Endpoint::new(addr(2), 80));
+        conns.push(c);
+        n.absorb(true, emits);
+    }
+    n.drain();
+    for _ in 0..200 {
+        let pending = conns.iter().any(|&c| n.a.conn_state(c) != Some(TcpState::Established));
+        if !pending {
+            break;
+        }
+        assert!(n.fire_timers(), "handshakes stalled with timers idle");
+    }
+    assert_eq!(n.a.conn_count(), FLOWS);
+    assert_eq!(n.b.conn_count(), FLOWS);
+
+    // each flow streams MSGS messages with flow-distinct contents
+    let mut expected: Vec<Vec<u8>> = vec![Vec::new(); FLOWS];
+    for (i, &c) in conns.iter().enumerate() {
+        for m in 0..MSGS {
+            let len = n.rng.range_usize(1, 3000);
+            let payload = vec![(i * 31 + m * 7) as u8; len];
+            expected[i].extend(&payload);
+            let token = SendToken((i * MSGS + m) as u64);
+            let emits = n.a.tcp_send(n.now, c, payload, token).unwrap();
+            n.absorb(true, emits);
+        }
+        // interleave flows on the wire rather than sending sequentially
+        if i % 16 == 15 {
+            n.drain();
+        }
+    }
+    n.drain();
+
+    let want_bytes: usize = expected.iter().map(Vec::len).sum();
+    let mut rounds = 0;
+    while n.delivered.iter().map(Vec::len).sum::<usize>() < want_bytes && rounds < 3000 {
+        rounds += 1;
+        assert!(n.fire_timers(), "transfer stalled with timers idle");
+    }
+
+    // exactly-once, in-order delivery per flow
+    for (i, want) in expected.iter().enumerate() {
+        assert_eq!(&n.delivered[i], want, "flow {i} bytes mangled");
+    }
+    // every token completed exactly once
+    let mut tokens = n.completions.clone();
+    tokens.sort_unstable();
+    let all: Vec<u64> = (0..(FLOWS * MSGS) as u64).collect();
+    assert_eq!(tokens, all, "send completions must arrive exactly once each");
+
+    // teardown: close both halves of every flow, then let timers quiesce
+    for &c in &conns {
+        let emits = n.a.tcp_close(n.now, c).unwrap();
+        n.absorb(true, emits);
+    }
+    n.drain();
+    let server_conns: Vec<u32> = n.flow_of.keys().copied().collect();
+    for c in server_conns {
+        let emits = n.b.tcp_close(n.now, ConnId(c)).unwrap();
+        n.absorb(false, emits);
+    }
+    n.drain();
+    let mut rounds = 0;
+    while n.fire_timers() {
+        rounds += 1;
+        assert!(rounds < 5000, "timers never quiesced after close");
+    }
+
+    // the tables must drain completely: no leaked conns, demux
+    // entries, or timer-index slots
+    assert_eq!(n.a.conn_count(), 0, "client connections leaked");
+    assert_eq!(n.b.conn_count(), 0, "server connections leaked");
+    assert_eq!(n.a.demux_len(), 0);
+    assert_eq!(n.b.demux_len(), 0);
+    assert_eq!(n.a.timer_index_len(), 0, "client timer index not empty");
+    assert_eq!(n.b.timer_index_len(), 0, "server timer index not empty");
+    assert_eq!(n.a.next_deadline(), None);
+    assert_eq!(n.b.next_deadline(), None);
+}

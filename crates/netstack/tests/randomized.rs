@@ -93,7 +93,20 @@ impl LossyWire {
         let eb = self.b.on_timer(self.now);
         self.absorb(false, eb);
         self.drain();
+        self.assert_table_invariants();
         true
+    }
+
+    /// The connection slab, demux table, and timer index must agree
+    /// after every quiescent point, whatever the loss pattern did.
+    fn assert_table_invariants(&self) {
+        for e in [&self.a, &self.b] {
+            assert_eq!(e.demux_len(), e.conn_count(), "demux and slab out of sync");
+            assert!(
+                e.timer_index_len() <= e.conn_count(),
+                "timer index holds more entries than live connections"
+            );
+        }
     }
 }
 
@@ -130,6 +143,7 @@ fn run_transfer(cfg: NetConfig, messages: Vec<Vec<u8>>, losses: Vec<bool>) {
     }
     assert_eq!(w.delivered.len(), expected.len(), "all bytes delivered despite loss");
     assert_eq!(w.delivered, expected, "in order, exactly once");
+    w.assert_table_invariants();
     // completions arrive once per token, in order
     let mut want: Vec<u64> = Vec::new();
     for i in 0..w.completions.len() {

@@ -8,10 +8,11 @@
 //! PCI bus through a shared DMA pipe, and each stage execution is
 //! recorded in the [`Occupancy`] table that regenerates Tables 2 and 3.
 
-use std::collections::{HashMap, VecDeque};
+use std::collections::VecDeque;
 use std::net::Ipv6Addr;
 
 use qpip_netstack::engine::Engine;
+use qpip_netstack::hash::FxHashMap;
 use qpip_netstack::types::{ConnId, Emit, Endpoint, NetConfig, PacketKind, PacketOut, SendToken};
 use qpip_sim::params;
 use qpip_sim::resource::{BandwidthPipe, SerialResource};
@@ -134,21 +135,21 @@ pub struct QpipNic {
     /// Receive-side data placement (device writes to host memory).
     dma_write: BandwidthPipe,
     engine: Engine,
-    qps: HashMap<QpId, Qp>,
+    qps: FxHashMap<QpId, Qp>,
     cq_count: u32,
     qp_count: u32,
-    conn_to_qp: HashMap<ConnId, QpId>,
-    udp_port_to_qp: HashMap<u16, QpId>,
+    conn_to_qp: FxHashMap<ConnId, QpId>,
+    udp_port_to_qp: FxHashMap<u16, QpId>,
     /// Idle QPs awaiting an incoming connection, per listening port (§3:
     /// an incoming connection "mates … to an idle QP").
-    accept_pool: HashMap<u16, VecDeque<QpId>>,
+    accept_pool: FxHashMap<u16, VecDeque<QpId>>,
     next_token: u64,
-    tokens: HashMap<u64, TokenUse>,
+    tokens: FxHashMap<u64, TokenUse>,
     /// Registered memory regions addressable by peers (rkey → bytes).
-    mrs: HashMap<u32, Vec<u8>>,
+    mrs: FxHashMap<u32, Vec<u8>>,
     next_rkey: u32,
     /// Outstanding RDMA Read requests, by echoed context.
-    pending_reads: HashMap<u64, (QpId, u64)>,
+    pending_reads: FxHashMap<u64, (QpId, u64)>,
     next_read_ctx: u64,
     occupancy: Occupancy,
     stats: NicStats,
@@ -180,17 +181,17 @@ impl QpipNic {
             dma_read: BandwidthPipe::new("pci-dma-rd", params::PCI_DMA_READ_BYTES_PER_SEC),
             dma_write: BandwidthPipe::new("pci-dma-wr", params::PCI_DMA_WRITE_BYTES_PER_SEC),
             engine: Engine::new(net, addr),
-            qps: HashMap::new(),
+            qps: FxHashMap::default(),
             cq_count: 0,
             qp_count: 0,
-            conn_to_qp: HashMap::new(),
-            udp_port_to_qp: HashMap::new(),
-            accept_pool: HashMap::new(),
+            conn_to_qp: FxHashMap::default(),
+            udp_port_to_qp: FxHashMap::default(),
+            accept_pool: FxHashMap::default(),
             next_token: 1,
-            tokens: HashMap::new(),
-            mrs: HashMap::new(),
+            tokens: FxHashMap::default(),
+            mrs: FxHashMap::default(),
             next_rkey: 1,
-            pending_reads: HashMap::new(),
+            pending_reads: FxHashMap::default(),
             next_read_ctx: 1,
             occupancy: Occupancy::new(),
             stats: NicStats::default(),

@@ -19,4 +19,24 @@ cargo clippy --workspace --all-targets -q -- -D warnings
 echo "==> cargo fmt --check"
 cargo fmt --check
 
+# Smoke-run every experiment binary: each must exit cleanly and report
+# zero [MISS] shape checks. fig7_nbd without --full and manyflow with
+# --smoke are the quick configurations; the rest are already fast.
+for bin in fig3_rtt fig4_throughput table1_overhead tables23_occupancy fig7_nbd; do
+    echo "==> smoke: $bin"
+    out="$(./target/release/$bin)"
+    if grep -q '\[MISS\]' <<<"$out"; then
+        echo "$out"
+        echo "FAIL: $bin reported a missed shape check"
+        exit 1
+    fi
+done
+echo "==> smoke: manyflow --smoke"
+out="$(./target/release/manyflow --smoke)"
+if grep -q '\[MISS\]' <<<"$out"; then
+    echo "$out"
+    echo "FAIL: manyflow reported a missed shape check"
+    exit 1
+fi
+
 echo "All checks passed."
