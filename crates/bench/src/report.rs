@@ -1,6 +1,16 @@
 //! Table/figure output helpers: every experiment binary prints the same
 //! paper-vs-measured layout so EXPERIMENTS.md can be assembled directly
 //! from harness output.
+//!
+//! Every JSON emitter stamps [`SCHEMA_VERSION`] so downstream dashboards
+//! can detect layout changes, and none of them may embed anything
+//! host- or time-identifying (hostnames, usernames, paths, dates):
+//! measured *values* naturally vary with the machine, but the document
+//! itself must not say which machine or when.
+
+/// Version of the JSON layouts below. Bump when a field is added,
+/// renamed or removed in any emitter.
+pub const SCHEMA_VERSION: u32 = 2;
 
 /// A simple fixed-width table printer.
 #[derive(Debug, Default)]
@@ -73,6 +83,7 @@ impl Table {
 ///
 /// ```json
 /// {
+///   "schema_version": 2,
 ///   "benches": [
 ///     {"name": "checksum/9000", "baseline_ns": 1.0, "current_ns": 0.2, "speedup": 5.0}
 ///   ],
@@ -80,7 +91,7 @@ impl Table {
 /// }
 /// ```
 pub fn datapath_json(benches: &[crate::microbench::Comparison], metrics: &[(&str, f64)]) -> String {
-    let mut out = String::from("{\n  \"benches\": [\n");
+    let mut out = format!("{{\n  \"schema_version\": {SCHEMA_VERSION},\n  \"benches\": [\n");
     for (i, c) in benches.iter().enumerate() {
         out.push_str(&format!(
             "    {{\"name\": \"{}\", \"baseline_ns\": {:.2}, \"current_ns\": {:.2}, \"speedup\": {:.3}}}{}\n",
@@ -107,6 +118,7 @@ pub fn datapath_json(benches: &[crate::microbench::Comparison], metrics: &[(&str
 ///
 /// ```json
 /// {
+///   "schema_version": 2,
 ///   "scales": [
 ///     {"flows": 64, "wall_s": 0.1, "des_events": 10000,
 ///      "des_events_per_sec": 1.0e6, "events_per_flow": 156.2,
@@ -117,7 +129,7 @@ pub fn datapath_json(benches: &[crate::microbench::Comparison], metrics: &[(&str
 /// }
 /// ```
 pub fn manyflow_json(scales: &[crate::workloads::manyflow::ManyflowScale]) -> String {
-    let mut out = String::from("{\n  \"scales\": [\n");
+    let mut out = format!("{{\n  \"schema_version\": {SCHEMA_VERSION},\n  \"scales\": [\n");
     for (i, s) in scales.iter().enumerate() {
         out.push_str(&format!(
             "    {{\"flows\": {}, \"wall_s\": {:.3}, \"des_events\": {}, \
@@ -145,6 +157,69 @@ pub fn manyflow_json(scales: &[crate::workloads::manyflow::ManyflowScale]) -> St
     out.push_str(&format!("    \"events_per_flow_growth\": {flatness:.3}\n"));
     out.push_str("  }\n}\n");
     out
+}
+
+/// Renders the live-socket (xport) ttcp report as JSON: one RTT
+/// object, one streaming object per scenario, and the DES references
+/// the live numbers sit next to.
+///
+/// ```json
+/// {
+///   "schema_version": 2,
+///   "rtt": {"rounds": 200, "payload": 64, "mean_us": 90.0, "p50_us": 85.0, "min_us": 60.0},
+///   "streams": [
+///     {"scenario": "direct", "messages": 2000, "message_len": 8928,
+///      "bytes": 17856000, "wall_s": 0.5, "mbytes_per_sec": 35.7,
+///      "retransmissions": 0, "proxy_dropped": 0}
+///   ],
+///   "des_reference": {"fig3_rtt_us": 73.1, "fig4_mbytes_per_sec": 100.0}
+/// }
+/// ```
+pub fn xport_json(
+    rtt: &crate::workloads::xport::LiveRtt,
+    streams: &[(&str, crate::workloads::xport::LiveStream)],
+    des_rtt_us: f64,
+    des_mbytes_per_sec: f64,
+) -> String {
+    let mut out = format!("{{\n  \"schema_version\": {SCHEMA_VERSION},\n");
+    out.push_str(&format!(
+        "  \"rtt\": {{\"rounds\": {}, \"payload\": {}, \"mean_us\": {:.1}, \
+         \"p50_us\": {:.1}, \"min_us\": {:.1}}},\n",
+        rtt.rounds, rtt.payload, rtt.mean_us, rtt.p50_us, rtt.min_us,
+    ));
+    out.push_str("  \"streams\": [\n");
+    for (i, (scenario, s)) in streams.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"scenario\": \"{scenario}\", \"messages\": {}, \"message_len\": {}, \
+             \"bytes\": {}, \"wall_s\": {:.3}, \"mbytes_per_sec\": {:.1}, \
+             \"retransmissions\": {}, \"proxy_dropped\": {}}}{}\n",
+            s.messages,
+            s.message_len,
+            s.bytes,
+            s.wall_s,
+            s.mbytes_per_sec,
+            s.retransmissions,
+            s.proxy_dropped,
+            if i + 1 < streams.len() { "," } else { "" },
+        ));
+    }
+    out.push_str("  ],\n");
+    out.push_str(&format!(
+        "  \"des_reference\": {{\"fig3_rtt_us\": {des_rtt_us:.1}, \
+         \"fig4_mbytes_per_sec\": {des_mbytes_per_sec:.1}}}\n"
+    ));
+    out.push_str("}\n");
+    out
+}
+
+/// Asserts a JSON document carries nothing host- or time-identifying.
+/// Used by the emitter tests; exported so binaries can self-check in
+/// debug builds.
+pub fn assert_host_independent(json: &str) {
+    let lower = json.to_lowercase();
+    for needle in ["hostname", "username", "/root", "/home", "date", "timestamp", "epoch"] {
+        assert!(!lower.contains(needle), "JSON embeds host/time marker {needle:?}: {json}");
+    }
 }
 
 /// Formats a float with one decimal.
@@ -189,5 +264,84 @@ mod tests {
         assert_eq!(f1(1.25), "1.2");
         assert_eq!(f2(1.256), "1.26");
         assert_eq!(pct(0.756), "75.6%");
+    }
+
+    fn fixture_comparison() -> crate::microbench::Comparison {
+        crate::microbench::Comparison {
+            name: "checksum/9000".into(),
+            baseline_ns: 10.0,
+            current_ns: 2.0,
+        }
+    }
+
+    fn fixture_scale() -> crate::workloads::manyflow::ManyflowScale {
+        crate::workloads::manyflow::ManyflowScale {
+            flows: 64,
+            wall_s: 0.25,
+            sim_s: 0.001,
+            des_events: 10_000,
+            des_events_per_sec: 40_000.0,
+            events_per_flow: 156.25,
+            bytes_received: 65_536,
+            timer: fixture_comparison(),
+        }
+    }
+
+    fn fixture_rtt() -> crate::workloads::xport::LiveRtt {
+        crate::workloads::xport::LiveRtt {
+            rounds: 200,
+            payload: 64,
+            mean_us: 91.5,
+            p50_us: 88.0,
+            min_us: 61.2,
+        }
+    }
+
+    fn fixture_stream() -> crate::workloads::xport::LiveStream {
+        crate::workloads::xport::LiveStream {
+            messages: 2000,
+            message_len: 8928,
+            bytes: 17_856_000,
+            wall_s: 0.5,
+            mbytes_per_sec: 35.7,
+            retransmissions: 3,
+            proxy_dropped: 12,
+        }
+    }
+
+    #[test]
+    fn json_emitters_stamp_schema_version_and_stay_host_independent() {
+        let dp = datapath_json(&[fixture_comparison()], &[("des_events_per_sec", 1e7)]);
+        let mf = manyflow_json(&[fixture_scale()]);
+        let xp = xport_json(&fixture_rtt(), &[("direct", fixture_stream())], 73.1, 100.0);
+        for json in [&dp, &mf, &xp] {
+            assert!(
+                json.contains(&format!("\"schema_version\": {SCHEMA_VERSION}")),
+                "missing schema_version: {json}"
+            );
+            assert_host_independent(json);
+        }
+    }
+
+    #[test]
+    fn json_emitters_are_deterministic_for_fixed_input() {
+        // same input, same bytes — nothing may read clocks, tempdirs,
+        // map iteration order or the environment
+        let a = xport_json(&fixture_rtt(), &[("direct", fixture_stream())], 73.1, 100.0);
+        let b = xport_json(&fixture_rtt(), &[("direct", fixture_stream())], 73.1, 100.0);
+        assert_eq!(a, b);
+        assert_eq!(manyflow_json(&[fixture_scale()]), manyflow_json(&[fixture_scale()]));
+        assert_eq!(
+            datapath_json(&[fixture_comparison()], &[("m", 1.0)]),
+            datapath_json(&[fixture_comparison()], &[("m", 1.0)]),
+        );
+    }
+
+    #[test]
+    fn host_marker_check_catches_leaks() {
+        let result = std::panic::catch_unwind(|| {
+            assert_host_independent("{\"path\": \"/root/repo/out.json\"}");
+        });
+        assert!(result.is_err(), "a /root path must be rejected");
     }
 }

@@ -3,3 +3,4 @@
 pub mod manyflow;
 pub mod pingpong;
 pub mod ttcp;
+pub mod xport;

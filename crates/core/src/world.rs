@@ -17,8 +17,8 @@ use qpip_fabric::{Fabric, FabricConfig, TransmitOutcome};
 use qpip_host::cpu::{CpuLedger, WorkClass};
 use qpip_netstack::types::Endpoint;
 use qpip_nic::{
-    Completion, CqId, MrKey, NicConfig, NicError, NicOutput, QpId, QpipNic, RdmaReadWr,
-    RdmaWriteWr, RecvWr, SendWr, ServiceType,
+    Completion, CompletionKind, CqId, MrKey, NicConfig, NicError, NicOutput, QpId, QpipNic,
+    RdmaReadWr, RdmaWriteWr, RecvWr, SendWr, ServiceType,
 };
 use qpip_sim::kernel::{EventId, Simulator};
 use qpip_sim::params;
@@ -364,8 +364,11 @@ impl QpipWorld {
     ///
     /// # Panics
     ///
-    /// Panics if the simulation runs dry with nothing to deliver —
-    /// a deadlocked workload is a bug in the caller.
+    /// Panics if the simulation runs dry with nothing to deliver — a
+    /// deadlocked workload is a bug in the caller. The panic message
+    /// describes what every node still has in flight (CQ contents,
+    /// posted WRs, backlogs, open connections) so the missing post or
+    /// the wrong-CQ wait is visible from the message alone.
     pub fn wait(&mut self, node: NodeIdx, cq: CqId) -> Completion {
         loop {
             // take a visible head entry if one exists
@@ -382,12 +385,54 @@ impl QpipWorld {
                 );
                 return n.cqs.get_mut(&cq).expect("cq").pop_front().expect("head");
             }
-            assert!(
-                self.step(),
-                "wait() deadlocked: no events pending and {cq} empty on node {}",
-                node.0
-            );
+            if !self.step() {
+                panic!("{}", self.deadlock_report(node, cq));
+            }
         }
+    }
+
+    /// Builds the `wait()` deadlock panic message: which wait starved,
+    /// then a per-node dump of CQ depths, posted WRs, backlogs and open
+    /// connections across the whole world (the entry a waiter is
+    /// missing is usually stuck on *another* node or another CQ).
+    fn deadlock_report(&self, node: NodeIdx, cq: CqId) -> String {
+        use core::fmt::Write as _;
+        let mut s = format!(
+            "wait() deadlocked at t={}: simulation ran dry with {cq} empty on node {}\n",
+            self.sim.now(),
+            node.0
+        );
+        for (i, n) in self.nodes.iter().enumerate() {
+            let _ = writeln!(s, "  node {i} (addr {}):", n.nic.addr());
+            let mut cqs: Vec<_> = n.cqs.iter().collect();
+            cqs.sort_by_key(|(id, _)| id.0);
+            for (id, entries) in cqs {
+                let kinds: Vec<String> = entries
+                    .iter()
+                    .take(4)
+                    .map(|c| match &c.kind {
+                        CompletionKind::Send => "Send".into(),
+                        CompletionKind::Recv { data, .. } => format!("Recv({}B)", data.len()),
+                        CompletionKind::ConnectionEstablished => "ConnectionEstablished".into(),
+                        CompletionKind::PeerDisconnected => "PeerDisconnected".into(),
+                        CompletionKind::RdmaWrite => "RdmaWrite".into(),
+                        CompletionKind::RdmaRead { data } => format!("RdmaRead({}B)", data.len()),
+                    })
+                    .collect();
+                let more = entries.len().saturating_sub(4);
+                let suffix = if more > 0 { format!(" (+{more} more)") } else { String::new() };
+                let _ = writeln!(
+                    s,
+                    "    {id}: {} entries [{}]{suffix}",
+                    entries.len(),
+                    kinds.join(", ")
+                );
+            }
+            let _ = write!(s, "{}", n.nic.pending_summary());
+        }
+        s.push_str("  hint: a missing post_recv/post_send, a wait on the wrong CQ, or a\n");
+        s.push_str("  peer that never answers leaves the event queue dry.");
+        s
     }
 
     /// Consumes the head CQ entry if one has been produced, sleeping
@@ -675,5 +720,39 @@ mod tests {
         let c = w.wait_matching(a, cqa, |c| c.kind == CompletionKind::Send);
         assert_eq!(c.wr_id, 77);
         assert!(w.nic(a).retransmissions() >= 1, "loss forced a retransmission");
+    }
+
+    /// Waiting on a CQ that can never produce must panic with a
+    /// diagnostic that names the starved wait and shows where the
+    /// completions actually went — not just "deadlocked".
+    #[test]
+    fn wait_deadlock_panic_names_the_pending_state() {
+        let (mut w, a, b, qa, _qb, _cqa, _cqb) = connected_world();
+        // a message flies a→b, so a Recv entry lands on b's CQ and a
+        // Send entry on a's CQ — but we wait on a freshly created CQ
+        // nothing feeds. Once the ACK exchange drains, the event queue
+        // runs dry and wait() must explain the world state.
+        w.post_send(a, qa, SendWr { wr_id: 5, payload: vec![3; 1024], dst: None }).unwrap();
+        let wrong_cq = w.create_cq(a);
+        let panic = std::panic::catch_unwind(std::panic::AssertUnwindSafe(move || {
+            w.wait(a, wrong_cq);
+        }))
+        .expect_err("wait() on a starved CQ must panic, not hang");
+        let msg = panic
+            .downcast_ref::<String>()
+            .cloned()
+            .or_else(|| panic.downcast_ref::<&str>().map(|s| (*s).to_string()))
+            .expect("panic payload is a message");
+        assert!(msg.contains("wait() deadlocked"), "headline missing: {msg}");
+        assert!(
+            msg.contains(&format!("{wrong_cq} empty on node {}", a.0)),
+            "starved wait not named: {msg}"
+        );
+        // the diagnostic shows where the completions actually are
+        assert!(msg.contains("Send"), "sender's pending Send entry not shown: {msg}");
+        assert!(msg.contains("Recv(1024B)"), "receiver's pending Recv entry not shown: {msg}");
+        assert!(msg.contains(&format!("node {}", b.0)), "other node's state not dumped: {msg}");
+        assert!(msg.contains("qp#"), "per-QP state not dumped: {msg}");
+        assert!(msg.contains("hint:"), "hint missing: {msg}");
     }
 }

@@ -11,6 +11,9 @@
 //! * [`rdma_impl`] — an extension: reads served by one-sided RDMA
 //!   writes into the client's registered buffer (the idiom NFS/RDMA and
 //!   iSER later built on iWARP, of which QPIP is a precursor).
+//! * [`xport_impl`] — the same QP layering on **live sockets**: the
+//!   identical wire protocol over `qpip-xport` nodes, so the block
+//!   driver written against the simulated world runs against real I/O.
 //!
 //! The benchmark is the paper's: a 409 MB sequential write (flushed with
 //! `sync`) and sequential read, reporting throughput and CPU
@@ -25,6 +28,8 @@ pub mod qpip_impl;
 pub mod rdma_impl;
 pub mod result;
 pub mod socket_impl;
+pub mod xport_impl;
 
 pub use qpip_impl::NbdConfig;
 pub use result::{NbdResult, PhaseResult};
+pub use xport_impl::{NbdXportError, XportNbdClient, XportNbdServer};

@@ -251,6 +251,45 @@ impl QpipNic {
         self.engine.ecn_reductions()
     }
 
+    /// Multi-line description of everything still in flight on this
+    /// NIC — per-QP WR/backlog state, outstanding send tokens and live
+    /// engine connections — for deadlock diagnostics ([`crate::QpipNic`]
+    /// has no view of host-side CQ contents; the caller appends those).
+    pub fn pending_summary(&self) -> String {
+        use core::fmt::Write as _;
+        let mut s = String::new();
+        let mut qps: Vec<_> = self.qps.iter().collect();
+        qps.sort_by_key(|(id, _)| id.0);
+        for (id, qp) in qps {
+            let conn = match qp.conn {
+                Some(c) => format!("{c}"),
+                None => "-".into(),
+            };
+            let _ = writeln!(
+                s,
+                "    {id}: {:?} conn={conn} established={} recv_wrs={} posted_bytes={} \
+                 backlog={} port={:?}",
+                qp.service,
+                qp.established,
+                qp.recv_queue.len(),
+                qp.posted_bytes,
+                qp.backlog.len(),
+                qp.local_port,
+            );
+        }
+        if s.is_empty() {
+            s.push_str("    (no QPs)\n");
+        }
+        let _ = writeln!(
+            s,
+            "    send tokens outstanding: {}, engine connections: {}, retransmissions: {}",
+            self.tokens.len(),
+            self.engine.conn_count(),
+            self.engine.retransmissions(),
+        );
+        s
+    }
+
     // ----- management FSM ------------------------------------------------
 
     /// Creates a completion queue.

@@ -1,0 +1,97 @@
+//! Wall-clock → simulation-clock mapping.
+//!
+//! The protocol engine is pure: it never reads a clock, it is handed a
+//! [`SimTime`] with every call. Inside the DES worlds that instant comes
+//! from the event kernel; here it comes from the machine. A [`WallClock`]
+//! pins an [`Instant`] epoch at node creation and reports the elapsed
+//! wall time since then as a `SimTime`, so one engine's timestamps are
+//! monotone and strictly local — two nodes' clocks never need to agree,
+//! exactly as two machines' TSCs never do.
+
+use std::time::{Duration, Instant};
+
+use qpip_sim::time::{SimDuration, SimTime};
+
+/// A per-node monotonic clock mapping wall time onto the engine's
+/// picosecond [`SimTime`] axis.
+///
+/// # Examples
+///
+/// ```
+/// use qpip_xport::clock::WallClock;
+///
+/// let clock = WallClock::start();
+/// let a = clock.now();
+/// let b = clock.now();
+/// assert!(b >= a);
+/// ```
+#[derive(Debug, Clone, Copy)]
+pub struct WallClock {
+    epoch: Instant,
+}
+
+impl WallClock {
+    /// Starts a clock; `now()` reports time elapsed since this call.
+    pub fn start() -> Self {
+        WallClock { epoch: Instant::now() }
+    }
+
+    /// The current instant on this node's simulation-time axis.
+    pub fn now(&self) -> SimTime {
+        // Instant::elapsed is monotonic; nanosecond precision is three
+        // orders finer than the engine's coarsest-grained timer (the
+        // 10 ms min RTO), and u64 picoseconds hold ~213 days of uptime.
+        SimTime::from_picos(self.epoch.elapsed().as_nanos().saturating_mul(1_000) as u64)
+    }
+
+    /// Wall-clock duration until `deadline`, `Duration::ZERO` if due.
+    pub fn until(&self, deadline: SimTime) -> Duration {
+        let now = self.now();
+        if deadline <= now {
+            return Duration::ZERO;
+        }
+        sim_to_wall(deadline.duration_since(now))
+    }
+}
+
+/// Converts an engine duration to a wall-clock duration.
+pub fn sim_to_wall(d: SimDuration) -> Duration {
+    Duration::from_nanos(d.as_nanos())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clock_is_monotone() {
+        let c = WallClock::start();
+        let mut prev = c.now();
+        for _ in 0..100 {
+            let t = c.now();
+            assert!(t >= prev);
+            prev = t;
+        }
+    }
+
+    #[test]
+    fn until_is_zero_for_past_deadlines() {
+        let c = WallClock::start();
+        assert_eq!(c.until(SimTime::ZERO), Duration::ZERO);
+    }
+
+    #[test]
+    fn until_tracks_future_deadlines() {
+        let c = WallClock::start();
+        let deadline = c.now() + SimDuration::from_millis(50);
+        let d = c.until(deadline);
+        assert!(d <= Duration::from_millis(50));
+        assert!(d > Duration::from_millis(10), "epoch just started: ~50ms remain, got {d:?}");
+    }
+
+    #[test]
+    fn sim_to_wall_converts_units() {
+        assert_eq!(sim_to_wall(SimDuration::from_millis(3)), Duration::from_millis(3));
+        assert_eq!(sim_to_wall(SimDuration::from_micros(7)), Duration::from_micros(7));
+    }
+}

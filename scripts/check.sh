@@ -7,8 +7,9 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-echo "==> cargo build --release --workspace"
+echo "==> cargo build --release --workspace (bins + examples)"
 cargo build --release --workspace
+cargo build --release --workspace --examples
 
 echo "==> cargo test --workspace"
 cargo test --workspace -q
@@ -38,5 +39,26 @@ if grep -q '\[MISS\]' <<<"$out"; then
     echo "FAIL: manyflow reported a missed shape check"
     exit 1
 fi
+
+# Live-socket smoke runs. These open real UDP sockets on 127.0.0.1 and
+# block on them, so unlike the deterministic binaries above a bug can
+# hang rather than fail — a hard timeout turns a hang into a failure.
+echo "==> smoke: xport_ttcp --smoke (120s timeout)"
+out="$(timeout 120 ./target/release/xport_ttcp --smoke)" || {
+    echo "$out"
+    echo "FAIL: xport_ttcp --smoke failed or timed out"
+    exit 1
+}
+if grep -q '\[MISS\]' <<<"$out"; then
+    echo "$out"
+    echo "FAIL: xport_ttcp reported a missed shape check"
+    exit 1
+fi
+
+echo "==> smoke: live_node example (60s timeout)"
+timeout 60 ./target/release/examples/live_node >/dev/null || {
+    echo "FAIL: live_node example failed or timed out"
+    exit 1
+}
 
 echo "All checks passed."
