@@ -17,6 +17,7 @@ use std::net::Ipv6Addr;
 
 use qpip_bench::microbench::{compare, Comparison};
 use qpip_bench::report::datapath_json;
+use qpip_bench::workloads::pingpong::qpip_tcp_rtt_observed;
 use qpip_netstack::codec::{build_tcp_packet, build_udp_packet, decode_packet, Decoded};
 use qpip_netstack::tcp::SegmentOut;
 use qpip_netstack::types::{Endpoint, PacketKind};
@@ -382,10 +383,13 @@ fn main() {
     metrics.push(("des_events_per_sec", eps));
 
     if json {
+        // Unified counter snapshots from a reference DES pingpong run
+        // (deterministic: same workload, same counters every time).
+        let (_, counters) = qpip_tcp_rtt_observed(qpip::NicConfig::paper_default(), 64, 40, None);
         // cargo runs benches with CWD = the package dir; anchor the
         // artifact at the workspace root so its path is stable
         let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_datapath.json");
-        std::fs::write(path, datapath_json(&cmps, &metrics)).expect("write json");
+        std::fs::write(path, datapath_json(&cmps, &metrics, &counters)).expect("write json");
         println!("wrote {path}");
     }
 }

@@ -7,13 +7,26 @@
 //! and 113 µs (TCP); the figure's bars use the emulated hardware
 //! checksum.
 
+//! With `--trace FILE`, additionally re-runs the QPIP TCP pingpong with
+//! a flight recorder installed and writes the JSONL trace export to
+//! FILE (inspect with the `qpip-trace` CLI). Tracing is passive: the
+//! traced run produces the same RTT numbers as the untraced ones.
+
+use std::sync::Arc;
+
 use qpip::NicConfig;
 use qpip_bench::report::{f1, Table};
 use qpip_bench::workloads::pingpong::{
-    qpip_tcp_rtt, qpip_udp_rtt, socket_tcp_rtt, socket_udp_rtt, Baseline,
+    qpip_tcp_rtt, qpip_tcp_rtt_observed, qpip_udp_rtt, socket_tcp_rtt, socket_udp_rtt, Baseline,
 };
+use qpip_trace::FlightRecorder;
 
 fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let trace_path = args
+        .iter()
+        .position(|a| a == "--trace")
+        .map(|i| args.get(i + 1).expect("--trace needs a file path").clone());
     let rounds = 40;
     println!("Figure 3: application-to-application RTT, 1-byte message\n");
 
@@ -70,4 +83,13 @@ fn main() {
         "QPIP fw-csum TCP within 25% of paper's 113 µs",
         (qpip_tcp_fw.mean_us - 113.0).abs() / 113.0 < 0.25,
     );
+
+    if let Some(path) = trace_path {
+        let rec = Arc::new(FlightRecorder::new(4096));
+        let (traced, _) =
+            qpip_tcp_rtt_observed(NicConfig::paper_default(), 1, rounds, Some(Arc::clone(&rec)));
+        assert_eq!(traced.mean_us, qpip_tcp.mean_us, "tracing must not perturb the simulation");
+        std::fs::write(&path, rec.export_jsonl()).expect("write trace JSONL");
+        println!("\nwrote {} trace events to {path}", rec.total_recorded());
+    }
 }

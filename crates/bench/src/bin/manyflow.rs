@@ -88,7 +88,7 @@ fn main() {
 
     if json {
         let path = "BENCH_manyflow.json";
-        std::fs::write(path, manyflow_json(&results)).expect("write JSON report");
+        std::fs::write(path, manyflow_json(&results, &last.counters)).expect("write JSON report");
         println!("\nwrote {path}");
     }
 }

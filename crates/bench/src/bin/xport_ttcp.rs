@@ -36,8 +36,8 @@ fn main() {
         qpip_ttcp(NicConfig::paper_default(), u64::from(messages) * message as u64, 16 * 1024);
 
     let rtt = live_rtt(rounds, 64);
-    let direct = live_stream(messages, message, None);
-    let impaired = live_stream(
+    let (direct, direct_counters) = live_stream(messages, message, None);
+    let (impaired, impaired_counters) = live_stream(
         impaired_messages,
         message,
         Some(ImpairConfig {
@@ -102,11 +102,20 @@ fn main() {
     check("loss recovery engaged on the impaired path", impaired.retransmissions > 0);
 
     if json {
+        // one counters object for the whole document: each scenario's
+        // snapshots disambiguated by a scope prefix
+        let counters: Vec<qpip_trace::Snapshot> = direct_counters
+            .iter()
+            .map(|s| ("direct", s))
+            .chain(impaired_counters.iter().map(|s| ("impaired", s)))
+            .map(|(prefix, s)| s.clone().rescoped(format!("{prefix}_{}", s.scope())))
+            .collect();
         let doc = xport_json(
             &rtt,
             &[("direct", direct), ("impaired_2pct_loss", impaired)],
             des_rtt.mean_us,
             des_ttcp.mbytes_per_sec,
+            &counters,
         );
         std::fs::write("BENCH_xport.json", &doc).expect("write BENCH_xport.json");
         println!("\nwrote BENCH_xport.json");

@@ -8,9 +8,17 @@
 //! measured *values* naturally vary with the machine, but the document
 //! itself must not say which machine or when.
 
+use qpip_trace::snapshot::{counters_json, Snapshot};
+
 /// Version of the JSON layouts below. Bump when a field is added,
 /// renamed or removed in any emitter.
-pub const SCHEMA_VERSION: u32 = 2;
+///
+/// v3: every document gains a `counters` section — the unified
+/// [`Snapshot`] rendering of the workload's stats structs — and the
+/// per-stream `retransmissions`/`proxy_dropped` fields of the xport
+/// report moved into it (as `<scenario>_engine.*_retransmits` and
+/// `<scenario>_proxy.dropped`).
+pub const SCHEMA_VERSION: u32 = 3;
 
 /// A simple fixed-width table printer.
 #[derive(Debug, Default)]
@@ -79,18 +87,24 @@ impl Table {
 ///
 /// Hand-rolled serialization (no serde in the workspace): the schema is
 /// a flat list of `{name, baseline_ns, current_ns, speedup}` objects
-/// plus free-form scalar metrics, which is all a trend dashboard needs.
+/// plus free-form scalar metrics and the unified counter snapshots of
+/// a reference DES run, which is all a trend dashboard needs.
 ///
 /// ```json
 /// {
-///   "schema_version": 2,
+///   "schema_version": 3,
 ///   "benches": [
 ///     {"name": "checksum/9000", "baseline_ns": 1.0, "current_ns": 0.2, "speedup": 5.0}
 ///   ],
-///   "metrics": {"des_events_per_sec": 1.0e7}
+///   "metrics": {"des_events_per_sec": 1.0e7},
+///   "counters": {"engine": {"rx_packets": 96}}
 /// }
 /// ```
-pub fn datapath_json(benches: &[crate::microbench::Comparison], metrics: &[(&str, f64)]) -> String {
+pub fn datapath_json(
+    benches: &[crate::microbench::Comparison],
+    metrics: &[(&str, f64)],
+    counters: &[Snapshot],
+) -> String {
     let mut out = format!("{{\n  \"schema_version\": {SCHEMA_VERSION},\n  \"benches\": [\n");
     for (i, c) in benches.iter().enumerate() {
         out.push_str(&format!(
@@ -109,7 +123,8 @@ pub fn datapath_json(benches: &[crate::microbench::Comparison], metrics: &[(&str
             if i + 1 < metrics.len() { "," } else { "" }
         ));
     }
-    out.push_str("  }\n}\n");
+    out.push_str("  },\n");
+    out.push_str(&format!("  \"counters\": {}\n}}\n", counters_json(counters, 2)));
     out
 }
 
@@ -118,17 +133,24 @@ pub fn datapath_json(benches: &[crate::microbench::Comparison], metrics: &[(&str
 ///
 /// ```json
 /// {
-///   "schema_version": 2,
+///   "schema_version": 3,
 ///   "scales": [
 ///     {"flows": 64, "wall_s": 0.1, "des_events": 10000,
 ///      "des_events_per_sec": 1.0e6, "events_per_flow": 156.2,
 ///      "timer_scan_ns": 800.0, "timer_indexed_ns": 20.0,
 ///      "timer_speedup": 40.0}
 ///   ],
-///   "metrics": {"timer_speedup_at_max_flows": 40.0}
+///   "metrics": {"timer_speedup_at_max_flows": 40.0},
+///   "counters": {"engine": {"rx_packets": 4096}}
 /// }
 /// ```
-pub fn manyflow_json(scales: &[crate::workloads::manyflow::ManyflowScale]) -> String {
+///
+/// `counters` carries the fleet-wide snapshots of the largest scale's
+/// world (engine + NIC summed across every node, plus the fabric).
+pub fn manyflow_json(
+    scales: &[crate::workloads::manyflow::ManyflowScale],
+    counters: &[Snapshot],
+) -> String {
     let mut out = format!("{{\n  \"schema_version\": {SCHEMA_VERSION},\n  \"scales\": [\n");
     for (i, s) in scales.iter().enumerate() {
         out.push_str(&format!(
@@ -155,7 +177,8 @@ pub fn manyflow_json(scales: &[crate::workloads::manyflow::ManyflowScale]) -> St
     out.push_str("  ],\n  \"metrics\": {\n");
     out.push_str(&format!("    \"timer_speedup_at_max_flows\": {speedup_at_max:.2},\n"));
     out.push_str(&format!("    \"events_per_flow_growth\": {flatness:.3}\n"));
-    out.push_str("  }\n}\n");
+    out.push_str("  },\n");
+    out.push_str(&format!("  \"counters\": {}\n}}\n", counters_json(counters, 2)));
     out
 }
 
@@ -165,21 +188,26 @@ pub fn manyflow_json(scales: &[crate::workloads::manyflow::ManyflowScale]) -> St
 ///
 /// ```json
 /// {
-///   "schema_version": 2,
+///   "schema_version": 3,
 ///   "rtt": {"rounds": 200, "payload": 64, "mean_us": 90.0, "p50_us": 85.0, "min_us": 60.0},
 ///   "streams": [
 ///     {"scenario": "direct", "messages": 2000, "message_len": 8928,
-///      "bytes": 17856000, "wall_s": 0.5, "mbytes_per_sec": 35.7,
-///      "retransmissions": 0, "proxy_dropped": 0}
+///      "bytes": 17856000, "wall_s": 0.5, "mbytes_per_sec": 35.7}
 ///   ],
-///   "des_reference": {"fig3_rtt_us": 73.1, "fig4_mbytes_per_sec": 100.0}
+///   "des_reference": {"fig3_rtt_us": 73.1, "fig4_mbytes_per_sec": 100.0},
+///   "counters": {"direct_engine": {"rto_retransmits": 0}}
 /// }
 /// ```
+///
+/// Retransmission and proxy-drop counts live in `counters`, scoped per
+/// scenario (`direct_engine`, `impaired_proxy`, …), replacing the old
+/// per-stream fields.
 pub fn xport_json(
     rtt: &crate::workloads::xport::LiveRtt,
     streams: &[(&str, crate::workloads::xport::LiveStream)],
     des_rtt_us: f64,
     des_mbytes_per_sec: f64,
+    counters: &[Snapshot],
 ) -> String {
     let mut out = format!("{{\n  \"schema_version\": {SCHEMA_VERSION},\n");
     out.push_str(&format!(
@@ -191,24 +219,21 @@ pub fn xport_json(
     for (i, (scenario, s)) in streams.iter().enumerate() {
         out.push_str(&format!(
             "    {{\"scenario\": \"{scenario}\", \"messages\": {}, \"message_len\": {}, \
-             \"bytes\": {}, \"wall_s\": {:.3}, \"mbytes_per_sec\": {:.1}, \
-             \"retransmissions\": {}, \"proxy_dropped\": {}}}{}\n",
+             \"bytes\": {}, \"wall_s\": {:.3}, \"mbytes_per_sec\": {:.1}}}{}\n",
             s.messages,
             s.message_len,
             s.bytes,
             s.wall_s,
             s.mbytes_per_sec,
-            s.retransmissions,
-            s.proxy_dropped,
             if i + 1 < streams.len() { "," } else { "" },
         ));
     }
     out.push_str("  ],\n");
     out.push_str(&format!(
         "  \"des_reference\": {{\"fig3_rtt_us\": {des_rtt_us:.1}, \
-         \"fig4_mbytes_per_sec\": {des_mbytes_per_sec:.1}}}\n"
+         \"fig4_mbytes_per_sec\": {des_mbytes_per_sec:.1}}},\n"
     ));
-    out.push_str("}\n");
+    out.push_str(&format!("  \"counters\": {}\n}}\n", counters_json(counters, 2)));
     out
 }
 
@@ -284,6 +309,7 @@ mod tests {
             events_per_flow: 156.25,
             bytes_received: 65_536,
             timer: fixture_comparison(),
+            counters: fixture_counters(),
         }
     }
 
@@ -309,15 +335,28 @@ mod tests {
         }
     }
 
+    fn fixture_counters() -> Vec<Snapshot> {
+        let mut engine = Snapshot::new("engine");
+        engine.push("rx_packets", 96).push("rto_retransmits", 2);
+        let mut fabric = Snapshot::new("fabric");
+        fabric.push("delivered", 96).push("dropped", 1);
+        vec![engine, fabric]
+    }
+
     #[test]
     fn json_emitters_stamp_schema_version_and_stay_host_independent() {
-        let dp = datapath_json(&[fixture_comparison()], &[("des_events_per_sec", 1e7)]);
-        let mf = manyflow_json(&[fixture_scale()]);
-        let xp = xport_json(&fixture_rtt(), &[("direct", fixture_stream())], 73.1, 100.0);
+        let cnt = fixture_counters();
+        let dp = datapath_json(&[fixture_comparison()], &[("des_events_per_sec", 1e7)], &cnt);
+        let mf = manyflow_json(&[fixture_scale()], &cnt);
+        let xp = xport_json(&fixture_rtt(), &[("direct", fixture_stream())], 73.1, 100.0, &cnt);
         for json in [&dp, &mf, &xp] {
             assert!(
                 json.contains(&format!("\"schema_version\": {SCHEMA_VERSION}")),
                 "missing schema_version: {json}"
+            );
+            assert!(
+                json.contains("\"counters\": {") && json.contains("\"rto_retransmits\": 2"),
+                "missing counters section: {json}"
             );
             assert_host_independent(json);
         }
@@ -327,13 +366,17 @@ mod tests {
     fn json_emitters_are_deterministic_for_fixed_input() {
         // same input, same bytes — nothing may read clocks, tempdirs,
         // map iteration order or the environment
-        let a = xport_json(&fixture_rtt(), &[("direct", fixture_stream())], 73.1, 100.0);
-        let b = xport_json(&fixture_rtt(), &[("direct", fixture_stream())], 73.1, 100.0);
+        let cnt = fixture_counters();
+        let a = xport_json(&fixture_rtt(), &[("direct", fixture_stream())], 73.1, 100.0, &cnt);
+        let b = xport_json(&fixture_rtt(), &[("direct", fixture_stream())], 73.1, 100.0, &cnt);
         assert_eq!(a, b);
-        assert_eq!(manyflow_json(&[fixture_scale()]), manyflow_json(&[fixture_scale()]));
         assert_eq!(
-            datapath_json(&[fixture_comparison()], &[("m", 1.0)]),
-            datapath_json(&[fixture_comparison()], &[("m", 1.0)]),
+            manyflow_json(&[fixture_scale()], &cnt),
+            manyflow_json(&[fixture_scale()], &cnt)
+        );
+        assert_eq!(
+            datapath_json(&[fixture_comparison()], &[("m", 1.0)], &cnt),
+            datapath_json(&[fixture_comparison()], &[("m", 1.0)], &cnt),
         );
     }
 

@@ -45,6 +45,9 @@ pub struct ManyflowScale {
     pub bytes_received: u64,
     /// Timer-tick cost: scan replica (baseline) vs timer index (current).
     pub timer: Comparison,
+    /// Fleet-wide counter snapshots of the world at end of run
+    /// (engine + NIC summed across all nodes, plus the fabric).
+    pub counters: Vec<qpip_trace::Snapshot>,
 }
 
 /// Runs the fan-in workload at one scale: `flows` clients each stream
@@ -120,6 +123,7 @@ pub fn run_scale(flows: usize, messages_per_flow: usize, message: usize) -> Many
         events_per_flow: des_events as f64 / flows as f64,
         bytes_received,
         timer: timer_tick_comparison(flows),
+        counters: w.counter_snapshots(),
     }
 }
 
@@ -211,6 +215,8 @@ mod tests {
         assert_eq!(r.bytes_received, 8 * 3 * 512);
         assert!(r.des_events > 0);
         assert!(r.events_per_flow > 0.0);
+        let engine = r.counters.iter().find(|s| s.scope() == "engine").expect("engine counters");
+        assert!(engine.get("rx_packets").expect("rx_packets counter") > 0);
     }
 
     #[test]

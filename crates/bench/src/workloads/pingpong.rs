@@ -2,12 +2,15 @@
 //! message from one application to another and back, over each of the
 //! three implementations and both transports.
 
+use std::sync::Arc;
+
 use qpip::baseline::SocketWorld;
 use qpip::world::QpipWorld;
 use qpip::{CompletionKind, NicConfig, RecvWr, SendWr, ServiceType};
 use qpip_host::stack::StackConfig;
 use qpip_netstack::types::Endpoint;
 use qpip_sim::stats::Summary;
+use qpip_trace::{FlightRecorder, Snapshot};
 
 /// RTT measurement result.
 #[derive(Debug, Clone)]
@@ -20,7 +23,23 @@ pub struct RttResult {
 
 /// Measures QPIP QP-to-QP RTT over TCP (reliable service).
 pub fn qpip_tcp_rtt(nic: NicConfig, payload: usize, rounds: usize) -> RttResult {
+    qpip_tcp_rtt_observed(nic, payload, rounds, None).0
+}
+
+/// [`qpip_tcp_rtt`] with observability: optionally installs a flight
+/// recorder on the world (tracing changes no simulation outcome — the
+/// RTT numbers are identical either way) and also returns the world's
+/// unified counter snapshots for the benches' `counters` JSON section.
+pub fn qpip_tcp_rtt_observed(
+    nic: NicConfig,
+    payload: usize,
+    rounds: usize,
+    recorder: Option<Arc<FlightRecorder>>,
+) -> (RttResult, Vec<Snapshot>) {
     let mut w = QpipWorld::myrinet();
+    if let Some(rec) = recorder {
+        w.install_recorder(rec);
+    }
     let a = w.add_node(nic.clone());
     let b = w.add_node(nic);
     let cqa = w.create_cq(a);
@@ -53,7 +72,7 @@ pub fn qpip_tcp_rtt(nic: NicConfig, payload: usize, rounds: usize) -> RttResult 
             samples.record(w.app_time(a).duration_since(t0).as_micros_f64());
         }
     }
-    RttResult { mean_us: samples.mean(), samples }
+    (RttResult { mean_us: samples.mean(), samples }, w.counter_snapshots())
 }
 
 /// Measures QPIP QP-to-QP RTT over UDP (unreliable service).

@@ -146,8 +146,14 @@ pub fn live_rtt(rounds: u32, payload: usize) -> LiveRtt {
 /// Streams `messages` messages of `message_len` bytes from one live
 /// node to another, optionally through an impairment proxy, and
 /// reports goodput. Delivery is verified exactly-once in-order on the
-/// receiver; the wall clock only prices it.
-pub fn live_stream(messages: u32, message_len: usize, impair: Option<ImpairConfig>) -> LiveStream {
+/// receiver; the wall clock only prices it. Also returns the sender's
+/// unified counter snapshots (`engine`, `xport`, and `proxy` when
+/// impaired) for the benches' `counters` JSON section.
+pub fn live_stream(
+    messages: u32,
+    message_len: usize,
+    impair: Option<ImpairConfig>,
+) -> (LiveStream, Vec<qpip_trace::Snapshot>) {
     let (mut a, mut b) = pair();
     let proxy = match impair {
         Some(cfg) => {
@@ -230,14 +236,20 @@ pub fn live_stream(messages: u32, message_len: usize, impair: Option<ImpairConfi
     }
     sink.join().expect("sink thread");
 
+    let mut counters = vec![a.engine().stats().snapshot(), a.stats().snapshot()];
+    let proxy_dropped = proxy.map_or(0, |p| {
+        counters.push(p.stats().snapshot());
+        p.stats().dropped
+    });
     let bytes = u64::from(messages) * message_len as u64;
-    LiveStream {
+    let stream = LiveStream {
         messages,
         message_len,
         bytes,
         wall_s,
         mbytes_per_sec: bytes as f64 / 1e6 / wall_s,
         retransmissions,
-        proxy_dropped: proxy.map_or(0, |p| p.stats().dropped),
-    }
+        proxy_dropped,
+    };
+    (stream, counters)
 }

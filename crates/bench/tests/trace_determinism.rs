@@ -1,0 +1,33 @@
+//! Determinism of the flight-recorder pipeline: the DES is seeded and
+//! tracing is passive, so the same workload must produce byte-identical
+//! JSONL exports run over run — the property that makes traces diffable
+//! across machines and commits.
+
+use std::sync::Arc;
+
+use qpip::NicConfig;
+use qpip_bench::workloads::pingpong::qpip_tcp_rtt_observed;
+use qpip_trace::FlightRecorder;
+
+fn traced_pingpong_jsonl() -> (String, f64) {
+    let rec = Arc::new(FlightRecorder::new(4096));
+    let (rtt, _) = qpip_tcp_rtt_observed(NicConfig::paper_default(), 1, 10, Some(Arc::clone(&rec)));
+    (rec.export_jsonl(), rtt.mean_us)
+}
+
+#[test]
+fn same_seed_produces_byte_identical_jsonl_traces() {
+    let (a, rtt_a) = traced_pingpong_jsonl();
+    let (b, rtt_b) = traced_pingpong_jsonl();
+    assert!(!a.is_empty(), "traced pingpong produced no events");
+    assert!(a.lines().count() > 50, "suspiciously short trace: {} lines", a.lines().count());
+    assert_eq!(a, b, "two identically-seeded runs diverged in their trace bytes");
+    assert_eq!(rtt_a, rtt_b, "two identically-seeded runs diverged in RTT");
+}
+
+#[test]
+fn tracing_does_not_perturb_the_simulation() {
+    let untraced = qpip_bench::workloads::pingpong::qpip_tcp_rtt(NicConfig::paper_default(), 1, 10);
+    let (_, traced_rtt) = traced_pingpong_jsonl();
+    assert_eq!(untraced.mean_us, traced_rtt, "installing a recorder changed the simulation");
+}

@@ -12,6 +12,7 @@
 
 use std::collections::{HashMap, VecDeque};
 use std::net::Ipv6Addr;
+use std::sync::Arc;
 
 use qpip_fabric::{Fabric, FabricConfig, TransmitOutcome};
 use qpip_host::cpu::{CpuLedger, WorkClass};
@@ -23,6 +24,7 @@ use qpip_nic::{
 use qpip_sim::kernel::{EventId, Simulator};
 use qpip_sim::params;
 use qpip_sim::time::{SimDuration, SimTime};
+use qpip_trace::{FlightRecorder, Tracer};
 
 /// Index of a node (host + NIC pair) in the world.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -55,6 +57,9 @@ pub struct QpipWorld {
     /// Fabric port → node index (dense: ports are assigned in attach
     /// order), so packet delivery is O(1) at any fleet size.
     fabric_to_node: Vec<usize>,
+    /// Shared flight recorder, when tracing is on; nodes added later
+    /// are wired up automatically.
+    recorder: Option<Arc<FlightRecorder>>,
 }
 
 impl core::fmt::Debug for QpipWorld {
@@ -75,6 +80,7 @@ impl QpipWorld {
             fabric: Fabric::new(fabric),
             nodes: Vec::new(),
             fabric_to_node: Vec::new(),
+            recorder: None,
         }
     }
 
@@ -90,6 +96,7 @@ impl QpipWorld {
             fabric: Fabric::with_switches(FabricConfig::myrinet(), switches),
             nodes: Vec::new(),
             fabric_to_node: Vec::new(),
+            recorder: None,
         }
     }
 
@@ -109,8 +116,12 @@ impl QpipWorld {
         let fabric_id = self.fabric.attach_at(addr, switch);
         debug_assert_eq!(fabric_id.0 as usize, self.fabric_to_node.len());
         self.fabric_to_node.push(n);
+        let mut nic = QpipNic::new(cfg, addr);
+        if let Some(rec) = &self.recorder {
+            nic.set_tracer(Tracer::new(Arc::clone(rec), n as u32));
+        }
         self.nodes.push(Node {
-            nic: QpipNic::new(cfg, addr),
+            nic,
             cpu: CpuLedger::new(),
             app_time: SimTime::ZERO,
             cqs: HashMap::new(),
@@ -118,6 +129,23 @@ impl QpipWorld {
             timer_event: None,
         });
         NodeIdx(n)
+    }
+
+    /// Installs a shared flight recorder: every node's firmware and
+    /// protocol engine (existing and future) plus the fabric record
+    /// into it. Traces are stamped with simulated time, so the same
+    /// seed and workload produce byte-identical exports.
+    pub fn install_recorder(&mut self, recorder: Arc<FlightRecorder>) {
+        for (i, n) in self.nodes.iter_mut().enumerate() {
+            n.nic.set_tracer(Tracer::new(Arc::clone(&recorder), i as u32));
+        }
+        self.fabric.set_recorder(Arc::clone(&recorder));
+        self.recorder = Some(recorder);
+    }
+
+    /// The installed flight recorder, if tracing is on.
+    pub fn recorder(&self) -> Option<&Arc<FlightRecorder>> {
+        self.recorder.as_ref()
     }
 
     /// The IPv6 address of a node.
@@ -182,6 +210,20 @@ impl QpipWorld {
     /// Installs a fault plan on the fabric (tests).
     pub fn set_fault_plan(&mut self, plan: qpip_fabric::FaultPlan) {
         self.fabric.set_fault_plan(plan);
+    }
+
+    /// Unified counter snapshots for the whole world: per-node engine
+    /// and NIC firmware counters folded into one fleet-wide `"engine"`
+    /// and one `"nic"` snapshot, plus the fabric's. This is the
+    /// `counters` section the benches stamp into their JSON reports.
+    pub fn counter_snapshots(&self) -> Vec<qpip_trace::Snapshot> {
+        let mut engine = qpip_trace::Snapshot::new("engine");
+        let mut nic = qpip_trace::Snapshot::new("nic");
+        for n in &self.nodes {
+            engine.absorb(&n.nic.engine_stats().snapshot());
+            nic.absorb(&n.nic.stats().snapshot());
+        }
+        vec![engine, nic, self.fabric.snapshot()]
     }
 
     // ----- management verbs ------------------------------------------------
@@ -429,6 +471,24 @@ impl QpipWorld {
                 );
             }
             let _ = write!(s, "{}", n.nic.pending_summary());
+            if let Some(rec) = &self.recorder {
+                let node32 = i as u32;
+                for (_, conn) in rec.scopes().into_iter().filter(|&(nn, _)| nn == node32) {
+                    let tail = rec.last_events(node32, conn, 8);
+                    if tail.is_empty() {
+                        continue;
+                    }
+                    let scope = if conn == qpip_trace::NODE_SCOPE {
+                        "node scope".to_string()
+                    } else {
+                        format!("conn {conn}")
+                    };
+                    let _ = writeln!(s, "    flight recorder ({scope}), last {}:", tail.len());
+                    for line in qpip_trace::export::dump(&tail).lines() {
+                        let _ = writeln!(s, "      {line}");
+                    }
+                }
+            }
         }
         s.push_str("  hint: a missing post_recv/post_send, a wait on the wrong CQ, or a\n");
         s.push_str("  peer that never answers leaves the event queue dry.");

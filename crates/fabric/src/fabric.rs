@@ -17,10 +17,12 @@
 
 use std::collections::HashMap;
 use std::net::Ipv6Addr;
+use std::sync::Arc;
 
 use qpip_sim::params;
 use qpip_sim::resource::BandwidthPipe;
 use qpip_sim::time::{SimDuration, SimTime};
+use qpip_trace::{FlightRecorder, Snapshot, TraceEvent, TraceSink, NODE_SCOPE};
 
 use crate::fault::{FaultInjector, FaultPlan};
 
@@ -143,6 +145,15 @@ pub struct FabricStats {
     pub bytes: u64,
 }
 
+impl FabricStats {
+    /// Renders the counters as a named snapshot (scope `"fabric"`).
+    pub fn snapshot(&self) -> Snapshot {
+        let mut s = Snapshot::new("fabric");
+        s.push("delivered", self.delivered).push("dropped", self.dropped).push("bytes", self.bytes);
+        s
+    }
+}
+
 /// A switched system area network: one or more switches in a linear
 /// chain, each with directly attached nodes.
 ///
@@ -167,6 +178,9 @@ pub struct Fabric {
     faults: FaultInjector,
     stats: FabricStats,
     ecn_marks: u64,
+    /// Flight recorder; drops are recorded against the transmitting
+    /// node's scope.
+    recorder: Option<Arc<FlightRecorder>>,
 }
 
 impl Fabric {
@@ -195,7 +209,22 @@ impl Fabric {
             faults: FaultInjector::default(),
             stats: FabricStats::default(),
             ecn_marks: 0,
+            recorder: None,
         }
+    }
+
+    /// Installs a flight recorder. Every drop (oversize, unroutable,
+    /// fault-injected) is recorded node-scoped against the transmitter.
+    pub fn set_recorder(&mut self, recorder: Arc<FlightRecorder>) {
+        self.recorder = Some(recorder);
+    }
+
+    /// Full counter snapshot (scope `"fabric"`), including the ECN-mark
+    /// and fault-injection counters kept outside [`FabricStats`].
+    pub fn snapshot(&self) -> Snapshot {
+        let mut s = self.stats.snapshot();
+        s.push("ecn_marks", self.ecn_marks).push("injected_drops", self.faults.packets_dropped());
+        s
     }
 
     /// Installs a fault-injection plan (tests only; benchmarks run
@@ -296,6 +325,12 @@ impl Fabric {
         }
     }
 
+    fn trace_drop(&self, now: SimTime, from: NodeId, reason: &'static str, len: usize) {
+        if let Some(rec) = &self.recorder {
+            rec.record(now, from.0, NODE_SCOPE, TraceEvent::FabricDrop { reason, len: len as u32 });
+        }
+    }
+
     /// Transmits a `len`-byte IP packet from `from` to the node owning
     /// `dst`, starting no earlier than `now`. The returned instant is
     /// when the *last byte* is available at the destination NIC.
@@ -308,14 +343,17 @@ impl Fabric {
     ) -> TransmitOutcome {
         if len > self.cfg.mtu {
             self.stats.dropped += 1;
+            self.trace_drop(now, from, "too_large", len);
             return TransmitOutcome::Dropped(DropReason::TooLarge { len, mtu: self.cfg.mtu });
         }
         let Some(to) = self.resolve(dst) else {
             self.stats.dropped += 1;
+            self.trace_drop(now, from, "no_route", len);
             return TransmitOutcome::Dropped(DropReason::NoRoute);
         };
         if self.faults.should_drop() {
             self.stats.dropped += 1;
+            self.trace_drop(now, from, "injected", len);
             return TransmitOutcome::Dropped(DropReason::Injected);
         }
         let wire = (len + self.cfg.frame_overhead) as u64;

@@ -12,6 +12,7 @@
 use std::net::Ipv6Addr;
 
 use qpip_sim::time::SimTime;
+use qpip_trace::{flags as tflags, Snapshot, TraceEvent, Tracer};
 
 use crate::codec::{build_tcp_packet, build_udp_packet, decode_packet, Decoded};
 use crate::hash::FxHashMap;
@@ -78,6 +79,89 @@ pub struct EngineStats {
     /// malformed headers — distinct from a checksum failure and from a
     /// well-formed packet that matched no port).
     pub parse_drops: u64,
+    /// Retransmissions triggered by RTO expiry (including SYN/FIN
+    /// retries), summed over live and reaped connections.
+    pub rto_retransmits: u64,
+    /// Fast retransmissions (third duplicate ACK), summed over live and
+    /// reaped connections.
+    pub fast_retransmits: u64,
+    /// Duplicate ACKs received, summed over live and reaped connections.
+    pub dupacks_rx: u64,
+    /// Peer-window transitions to zero, summed over live and reaped
+    /// connections.
+    pub zero_window_events: u64,
+}
+
+impl EngineStats {
+    /// Renders the counters as a named snapshot (scope `"engine"`).
+    pub fn snapshot(&self) -> Snapshot {
+        let mut s = Snapshot::new("engine");
+        s.push("rx_packets", self.rx_packets)
+            .push("tx_packets", self.tx_packets)
+            .push("checksum_drops", self.checksum_drops)
+            .push("demux_drops", self.demux_drops)
+            .push("addr_drops", self.addr_drops)
+            .push("parse_drops", self.parse_drops)
+            .push("rto_retransmits", self.rto_retransmits)
+            .push("fast_retransmits", self.fast_retransmits)
+            .push("dupacks_rx", self.dupacks_rx)
+            .push("zero_window_events", self.zero_window_events);
+        s
+    }
+}
+
+/// Stable lowercase name of a TCP state, for traces and reports.
+pub fn state_name(s: TcpState) -> &'static str {
+    match s {
+        TcpState::SynSent => "syn_sent",
+        TcpState::SynRcvd => "syn_rcvd",
+        TcpState::Established => "established",
+        TcpState::FinWait1 => "fin_wait1",
+        TcpState::FinWait2 => "fin_wait2",
+        TcpState::Closing => "closing",
+        TcpState::TimeWait => "time_wait",
+        TcpState::CloseWait => "close_wait",
+        TcpState::LastAck => "last_ack",
+        TcpState::Closed => "closed",
+    }
+}
+
+fn flag_bits(f: &qpip_wire::tcp::TcpFlags) -> u8 {
+    (u8::from(f.fin) * tflags::FIN)
+        | (u8::from(f.syn) * tflags::SYN)
+        | (u8::from(f.rst) * tflags::RST)
+        | (u8::from(f.psh) * tflags::PSH)
+        | (u8::from(f.ack) * tflags::ACK)
+}
+
+/// Counter sample taken around a mutating TCB call; the engine diffs
+/// two of these to synthesize trace events without the TCB knowing the
+/// tracer exists.
+#[derive(Debug, Clone, Copy)]
+struct Probe {
+    state: TcpState,
+    cwnd: u64,
+    ssthresh: u64,
+    rto_retransmits: u64,
+    fast_retransmits: u64,
+    dupacks_rx: u64,
+    zero_window_events: u64,
+    rtt_samples: u64,
+}
+
+impl Probe {
+    fn capture(tcb: &Tcb) -> Probe {
+        Probe {
+            state: tcb.state(),
+            cwnd: tcb.cwnd(),
+            ssthresh: tcb.ssthresh(),
+            rto_retransmits: tcb.rto_retransmits(),
+            fast_retransmits: tcb.fast_retransmits(),
+            dupacks_rx: tcb.dupacks_rx(),
+            zero_window_events: tcb.zero_window_events(),
+            rtt_samples: tcb.rtt_samples(),
+        }
+    }
 }
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -108,6 +192,9 @@ pub struct Engine {
     iss_counter: u32,
     ops: OpCounters,
     stats: EngineStats,
+    /// Flight-recorder handle; `None` (the default) costs one branch
+    /// per hook site on the datapath.
+    tracer: Option<Tracer>,
 }
 
 impl core::fmt::Debug for Engine {
@@ -135,7 +222,19 @@ impl Engine {
             iss_counter: 0x1000,
             ops: OpCounters::new(),
             stats: EngineStats::default(),
+            tracer: None,
         }
+    }
+
+    /// Installs a flight-recorder handle; every subsequent protocol
+    /// action emits trace events through it.
+    pub fn set_tracer(&mut self, tracer: Tracer) {
+        self.tracer = Some(tracer);
+    }
+
+    /// The installed tracer, if any.
+    pub fn tracer(&self) -> Option<&Tracer> {
+        self.tracer.as_ref()
     }
 
     /// This node's IPv6 address.
@@ -148,9 +247,19 @@ impl Engine {
         &self.cfg
     }
 
-    /// Traffic counters.
+    /// Traffic counters. Retransmit/dup-ACK/zero-window counters folded
+    /// into the base stats at reap time are completed with the live
+    /// connections' TCB counters, so the totals never regress when a
+    /// connection closes.
     pub fn stats(&self) -> EngineStats {
-        self.stats
+        let mut s = self.stats;
+        for e in self.conns.values() {
+            s.rto_retransmits += e.tcb.rto_retransmits();
+            s.fast_retransmits += e.tcb.fast_retransmits();
+            s.dupacks_rx += e.tcb.dupacks_rx();
+            s.zero_window_events += e.tcb.zero_window_events();
+        }
+        s
     }
 
     /// Returns and resets the accumulated operation counters (the cost
@@ -277,9 +386,9 @@ impl Engine {
         let local = Endpoint::new(self.local_addr, local_port);
         let iss = self.next_iss();
         let (tcb, segs) = Tcb::connect(&self.cfg, local, remote, iss, now);
-        let id = self.insert_conn(tcb, ConnOrigin::Active);
+        let id = self.insert_conn(now, tcb, ConnOrigin::Active);
         let mut emits = Vec::with_capacity(segs.len());
-        self.encode_segments_into(id, &segs, &mut emits);
+        self.encode_segments_into(now, id, &segs, &mut emits);
         (id, emits)
     }
 
@@ -309,9 +418,9 @@ impl Engine {
             return Err(EngineError::ConnectionClosing(conn));
         }
         let segs = entry.tcb.send(&self.cfg, data, token, now, &mut self.ops);
-        self.sync_timer(conn);
+        self.sync_timer(now, conn);
         let mut emits = Vec::with_capacity(segs.len());
-        self.encode_segments_into(conn, &segs, &mut emits);
+        self.encode_segments_into(now, conn, &segs, &mut emits);
         Ok(emits)
     }
 
@@ -322,10 +431,14 @@ impl Engine {
     /// [`EngineError::UnknownConn`] if the connection is gone.
     pub fn tcp_close(&mut self, now: SimTime, conn: ConnId) -> Result<Vec<Emit>, EngineError> {
         let entry = self.conns.get_mut(conn).ok_or(EngineError::UnknownConn(conn))?;
+        let before = self.tracer.is_some().then(|| Probe::capture(&entry.tcb));
         let segs = entry.tcb.close(&self.cfg, now, &mut self.ops);
-        self.sync_timer(conn);
+        self.sync_timer(now, conn);
+        if let Some(b) = before {
+            self.trace_probe_diff(now, conn, &b, &segs, None, "ack");
+        }
         let mut emits = Vec::with_capacity(segs.len());
-        self.encode_segments_into(conn, &segs, &mut emits);
+        self.encode_segments_into(now, conn, &segs, &mut emits);
         Ok(emits)
     }
 
@@ -334,14 +447,26 @@ impl Engine {
     /// # Errors
     ///
     /// [`EngineError::UnknownConn`] if the connection is gone.
-    pub fn tcp_abort(&mut self, _now: SimTime, conn: ConnId) -> Result<Vec<Emit>, EngineError> {
+    pub fn tcp_abort(&mut self, now: SimTime, conn: ConnId) -> Result<Vec<Emit>, EngineError> {
         let mut entry = self.conns.remove(conn).ok_or(EngineError::UnknownConn(conn))?;
+        let prev = entry.tcb.state();
         let rst = entry.tcb.abort();
         self.demux.remove(&(entry.tcb.local(), entry.tcb.remote()));
+        if let Some(tr) = &self.tracer {
+            if self.timers.get(conn).is_some() {
+                tr.emit(now, conn.0, TraceEvent::TimerCancel);
+            }
+            tr.emit(
+                now,
+                conn.0,
+                TraceEvent::TcpState { from: state_name(prev), to: state_name(TcpState::Closed) },
+            );
+        }
         self.timers.update(conn, None);
+        self.fold_reaped_counters(&entry.tcb);
         let remote = entry.tcb.remote();
         let local = entry.tcb.local();
-        Ok(vec![self.encode_one(conn, local, remote, &rst)])
+        Ok(vec![self.encode_one(now, conn, local, remote, &rst)])
     }
 
     /// Updates the receive-window backing space of a connection (QPIP:
@@ -359,9 +484,12 @@ impl Engine {
         let entry = self.conns.get_mut(conn).ok_or(EngineError::UnknownConn(conn))?;
         entry.tcb.set_recv_space(bytes);
         let upd = entry.tcb.window_update(now);
-        self.sync_timer(conn);
+        self.sync_timer(now, conn);
+        if let (Some(tr), Some(u)) = (&self.tracer, upd.as_ref()) {
+            tr.emit(now, conn.0, TraceEvent::WindowRefresh { wnd: u32::from(u.window) });
+        }
         let mut emits = Vec::with_capacity(upd.is_some() as usize);
-        self.encode_segments_into(conn, upd.as_slice(), &mut emits);
+        self.encode_segments_into(now, conn, upd.as_slice(), &mut emits);
         Ok(emits)
     }
 
@@ -433,10 +561,14 @@ impl Engine {
                 if tcp.flags.syn && !tcp.flags.ack && self.listeners.contains_key(&tcp.dst_port) {
                     let iss = self.next_iss();
                     let (tcb, segs) = Tcb::accept(&self.cfg, local, remote, tcp, iss, now);
-                    let id =
-                        self.insert_conn(tcb, ConnOrigin::Passive { listener_port: tcp.dst_port });
+                    let id = self.insert_conn(
+                        now,
+                        tcb,
+                        ConnOrigin::Passive { listener_port: tcp.dst_port },
+                    );
+                    self.trace_seg_rx(now, id, tcp, payload.len());
                     let mut emits = Vec::with_capacity(segs.len());
-                    self.encode_segments_into(id, &segs, &mut emits);
+                    self.encode_segments_into(now, id, &segs, &mut emits);
                     return emits;
                 }
                 self.stats.demux_drops += 1;
@@ -444,13 +576,18 @@ impl Engine {
             }
         };
 
+        self.trace_seg_rx(now, conn, tcp, payload.len());
         let entry = self.conns.get_mut(conn).expect("demux points at live conn");
+        let before = self.tracer.is_some().then(|| Probe::capture(&entry.tcb));
         let (segs, events) =
             entry.tcb.on_segment_marked(&self.cfg, tcp, payload, ce, now, &mut self.ops);
-        self.sync_timer(conn);
+        self.sync_timer(now, conn);
+        if let Some(b) = before {
+            self.trace_probe_diff(now, conn, &b, &segs, Some(tcp.ack.0), "ack");
+        }
         let mut emits = Vec::with_capacity(events.len() + segs.len());
         self.translate_events_into(conn, events, &mut emits);
-        self.encode_segments_into(conn, &segs, &mut emits);
+        self.encode_segments_into(now, conn, &segs, &mut emits);
         self.reap_if_closed(conn);
         emits
     }
@@ -473,14 +610,21 @@ impl Engine {
             if deadline > now {
                 break;
             }
+            if let Some(tr) = &self.tracer {
+                tr.emit(now, conn.0, TraceEvent::TimerFire);
+            }
             let entry = self.conns.get_mut(conn).expect("timer index points at live conn");
+            let before = self.tracer.is_some().then(|| Probe::capture(&entry.tcb));
             let (segs, events) = entry.tcb.on_timer(&self.cfg, now, &mut self.ops);
             // a fired TCB either disarms or re-arms strictly past `now`
             // (min_rto > 0), so this loop pops each due entry once
             debug_assert!(entry.tcb.next_deadline().is_none_or(|d| d > now));
-            self.sync_timer(conn);
+            self.sync_timer(now, conn);
+            if let Some(b) = before {
+                self.trace_probe_diff(now, conn, &b, &segs, None, "rto");
+            }
             self.translate_events_into(conn, events, &mut emits);
-            self.encode_segments_into(conn, &segs, &mut emits);
+            self.encode_segments_into(now, conn, &segs, &mut emits);
             self.reap_if_closed(conn);
         }
         emits
@@ -495,11 +639,19 @@ impl Engine {
         qpip_wire::tcp::SeqNum(self.iss_counter)
     }
 
-    fn insert_conn(&mut self, tcb: Tcb, origin: ConnOrigin) -> ConnId {
+    fn insert_conn(&mut self, now: SimTime, tcb: Tcb, origin: ConnOrigin) -> ConnId {
         let key = (tcb.local(), tcb.remote());
+        let state = tcb.state();
         let id = self.conns.insert(ConnEntry { tcb, origin, established_reported: false });
         self.demux.insert(key, id);
-        self.sync_timer(id);
+        if let Some(tr) = &self.tracer {
+            tr.emit(
+                now,
+                id.0,
+                TraceEvent::TcpState { from: state_name(TcpState::Closed), to: state_name(state) },
+            );
+        }
+        self.sync_timer(now, id);
         debug_assert_eq!(self.demux.len(), self.conns.len());
         id
     }
@@ -508,8 +660,17 @@ impl Engine {
     /// Called after every TCB-mutating operation so the index is always
     /// settled when `next_deadline` peeks it; on a removed connection
     /// this disarms the slot.
-    fn sync_timer(&mut self, conn: ConnId) {
+    fn sync_timer(&mut self, now: SimTime, conn: ConnId) {
         let deadline = self.conns.get(conn).and_then(|e| e.tcb.next_deadline());
+        if let Some(tr) = &self.tracer {
+            let old = self.timers.get(conn);
+            if old != deadline {
+                match deadline {
+                    Some(d) => tr.emit(now, conn.0, TraceEvent::TimerArm { deadline: d }),
+                    None => tr.emit(now, conn.0, TraceEvent::TimerCancel),
+                }
+            }
+        }
         self.timers.update(conn, deadline);
     }
 
@@ -518,7 +679,107 @@ impl Engine {
             let entry = self.conns.remove(conn).expect("just resolved");
             self.demux.remove(&(entry.tcb.local(), entry.tcb.remote()));
             self.timers.update(conn, None);
+            self.fold_reaped_counters(&entry.tcb);
             debug_assert_eq!(self.demux.len(), self.conns.len());
+        }
+    }
+
+    /// Folds a departing connection's TCB counters into the engine base
+    /// stats so [`Engine::stats`] totals survive the reap.
+    fn fold_reaped_counters(&mut self, tcb: &Tcb) {
+        self.stats.rto_retransmits += tcb.rto_retransmits();
+        self.stats.fast_retransmits += tcb.fast_retransmits();
+        self.stats.dupacks_rx += tcb.dupacks_rx();
+        self.stats.zero_window_events += tcb.zero_window_events();
+    }
+
+    /// Emits a [`TraceEvent::SegRx`] for a parsed inbound segment.
+    fn trace_seg_rx(
+        &self,
+        now: SimTime,
+        conn: ConnId,
+        tcp: &qpip_wire::tcp::TcpHeader,
+        len: usize,
+    ) {
+        if let Some(tr) = &self.tracer {
+            tr.emit(
+                now,
+                conn.0,
+                TraceEvent::SegRx {
+                    seq: tcp.seq.0,
+                    ack: tcp.ack.0,
+                    len: len as u32,
+                    wnd: u32::from(tcp.window),
+                    flags: flag_bits(&tcp.flags),
+                },
+            );
+        }
+    }
+
+    /// Diffs a [`Probe`] against the connection's current TCB and emits
+    /// one event per observed change. The TCB itself stays tracer-free:
+    /// at most one retransmission can leave a single mutating call, so
+    /// its sequence number is recovered from the `is_retransmit` segment
+    /// in that call's output.
+    fn trace_probe_diff(
+        &self,
+        now: SimTime,
+        conn: ConnId,
+        before: &Probe,
+        segs: &[SegmentOut],
+        ack: Option<u32>,
+        cwnd_reason: &'static str,
+    ) {
+        let Some(tr) = &self.tracer else { return };
+        let Some(entry) = self.conns.get(conn) else { return };
+        let tcb = &entry.tcb;
+        let c = conn.0;
+        if tcb.state() != before.state {
+            tr.emit(
+                now,
+                c,
+                TraceEvent::TcpState {
+                    from: state_name(before.state),
+                    to: state_name(tcb.state()),
+                },
+            );
+        }
+        if tcb.dupacks_rx() > before.dupacks_rx {
+            tr.emit(now, c, TraceEvent::DupAck { ack: ack.unwrap_or(0), count: tcb.dup_acks() });
+        }
+        let retx_seq = segs.iter().find(|s| s.is_retransmit).map_or(0, |s| s.seq.0);
+        if tcb.fast_retransmits() > before.fast_retransmits {
+            tr.emit(now, c, TraceEvent::Retransmit { seq: retx_seq, fast: true });
+        }
+        if tcb.rto_retransmits() > before.rto_retransmits {
+            tr.emit(now, c, TraceEvent::Retransmit { seq: retx_seq, fast: false });
+        }
+        if tcb.rtt_samples() > before.rtt_samples {
+            let us = |d: qpip_sim::time::SimDuration| d.as_picos() / 1_000_000;
+            tr.emit(
+                now,
+                c,
+                TraceEvent::RttSample {
+                    rtt_us: tcb.last_rtt_sample().map_or(0, us),
+                    srtt_us: tcb.srtt().map_or(0, us),
+                    rto_us: us(tcb.rto()),
+                },
+            );
+        }
+        if tcb.cwnd() != before.cwnd || tcb.ssthresh() != before.ssthresh {
+            let clamp = |v: u64| u32::try_from(v).unwrap_or(u32::MAX);
+            tr.emit(
+                now,
+                c,
+                TraceEvent::CwndChange {
+                    cwnd: clamp(tcb.cwnd()),
+                    ssthresh: clamp(tcb.ssthresh()),
+                    reason: cwnd_reason,
+                },
+            );
+        }
+        if tcb.zero_window_events() > before.zero_window_events {
+            tr.emit(now, c, TraceEvent::ZeroWindow);
         }
     }
 
@@ -554,22 +815,43 @@ impl Engine {
         }
     }
 
-    fn encode_segments_into(&mut self, conn: ConnId, segs: &[SegmentOut], emits: &mut Vec<Emit>) {
+    fn encode_segments_into(
+        &mut self,
+        now: SimTime,
+        conn: ConnId,
+        segs: &[SegmentOut],
+        emits: &mut Vec<Emit>,
+    ) {
         let Some(entry) = self.conns.get(conn) else {
             return;
         };
         let local = entry.tcb.local();
         let remote = entry.tcb.remote();
-        emits.extend(segs.iter().map(|s| self.encode_one(conn, local, remote, s)));
+        emits.extend(segs.iter().map(|s| self.encode_one(now, conn, local, remote, s)));
     }
 
     fn encode_one(
         &mut self,
+        now: SimTime,
         conn: ConnId,
         local: Endpoint,
         remote: Endpoint,
         seg: &SegmentOut,
     ) -> Emit {
+        if let Some(tr) = &self.tracer {
+            tr.emit(
+                now,
+                conn.0,
+                TraceEvent::SegTx {
+                    seq: seg.seq.0,
+                    ack: seg.ack.0,
+                    len: seg.payload.len() as u32,
+                    wnd: u32::from(seg.window),
+                    flags: flag_bits(&seg.flags),
+                    retransmit: seg.is_retransmit,
+                },
+            );
+        }
         let bytes = build_tcp_packet(local, remote, seg);
         self.ops.headers_built += 2; // TCP + IPv6
         self.ops.csum_bytes += (bytes.len() - 40) as u64;

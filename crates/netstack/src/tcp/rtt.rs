@@ -30,6 +30,8 @@ pub struct RttEstimator {
     /// Consecutive backoffs applied since the last valid sample.
     backoff_shift: u32,
     samples: u64,
+    /// Most recent raw (unsmoothed) sample, for tracing.
+    last_sample: Option<SimDuration>,
 }
 
 /// Initial RTO before any sample (RFC 6298 suggests 1 s; the firmware
@@ -49,6 +51,7 @@ impl RttEstimator {
             seeded: false,
             backoff_shift: 0,
             samples: 0,
+            last_sample: None,
         }
     }
 
@@ -80,6 +83,7 @@ impl RttEstimator {
         ops.muls += 6;
         self.backoff_shift = 0;
         self.samples += 1;
+        self.last_sample = Some(SimDuration::from_micros(m_us));
         let rto_us = self.srtt_x8 / 8 + self.rttvar_x4; // srtt + 4*rttvar
         self.rto = SimDuration::from_micros_f64(rto_us as f64).max(self.min_rto).min(MAX_RTO);
     }
@@ -103,6 +107,11 @@ impl RttEstimator {
     /// Number of samples consumed.
     pub fn samples(&self) -> u64 {
         self.samples
+    }
+
+    /// The most recent raw sample, if any.
+    pub fn last_sample(&self) -> Option<SimDuration> {
+        self.last_sample
     }
 }
 

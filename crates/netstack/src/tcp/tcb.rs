@@ -162,6 +162,10 @@ pub struct Tcb {
     // --- counters ---
     retransmit_count: u64,
     ooo_drops: u64,
+    rto_retransmits: u64,
+    fast_retransmits: u64,
+    dupacks_rx: u64,
+    zero_window_events: u64,
 }
 
 impl Tcb {
@@ -241,6 +245,10 @@ impl Tcb {
             timewait_deadline: None,
             retransmit_count: 0,
             ooo_drops: 0,
+            rto_retransmits: 0,
+            fast_retransmits: 0,
+            dupacks_rx: 0,
+            zero_window_events: 0,
         }
     }
 
@@ -279,6 +287,59 @@ impl Tcb {
     /// Out-of-order segments dropped (no reassembly in the subset).
     pub fn ooo_drops(&self) -> u64 {
         self.ooo_drops
+    }
+
+    /// Retransmissions triggered by RTO expiry (including SYN/SYN-ACK
+    /// and FIN retransmissions). `rto_retransmits + fast_retransmits ==
+    /// retransmit_count` by construction.
+    pub fn rto_retransmits(&self) -> u64 {
+        self.rto_retransmits
+    }
+
+    /// Retransmissions triggered by the third duplicate ACK.
+    pub fn fast_retransmits(&self) -> u64 {
+        self.fast_retransmits
+    }
+
+    /// Duplicate ACKs received (same ack, data in flight, no payload).
+    pub fn dupacks_rx(&self) -> u64 {
+        self.dupacks_rx
+    }
+
+    /// Transitions of the peer's advertised window into zero.
+    pub fn zero_window_events(&self) -> u64 {
+        self.zero_window_events
+    }
+
+    /// Consecutive duplicate ACKs currently counted by the congestion
+    /// controller.
+    pub fn dup_acks(&self) -> u32 {
+        self.congestion.dup_acks()
+    }
+
+    /// Current slow-start threshold in bytes.
+    pub fn ssthresh(&self) -> u64 {
+        self.congestion.ssthresh()
+    }
+
+    /// RTT samples folded into the estimator.
+    pub fn rtt_samples(&self) -> u64 {
+        self.rtt.samples()
+    }
+
+    /// The most recent raw RTT sample, if any.
+    pub fn last_rtt_sample(&self) -> Option<SimDuration> {
+        self.rtt.last_sample()
+    }
+
+    /// Current retransmission timeout.
+    pub fn rto(&self) -> SimDuration {
+        self.rtt.rto()
+    }
+
+    /// Oldest unacknowledged sequence number.
+    pub fn snd_una(&self) -> SeqNum {
+        self.sendbuf.una()
     }
 
     /// Whether ECN was negotiated on the handshake.
@@ -663,10 +724,12 @@ impl Tcb {
             }
         } else if hdr.ack == una_before && self.sendbuf.bytes_in_flight() > 0 && payload_empty {
             // duplicate ACK
+            self.dupacks_rx += 1;
             if self.congestion.on_dup_ack() {
                 // fast retransmit
                 if let Some(seg) = self.sendbuf.retransmit_front(self.max_payload(cfg)) {
                     self.retransmit_count += 1;
+                    self.fast_retransmits += 1;
                     let s = self.make_data_segment(seg.seq, seg.bytes, seg.psh, now, true);
                     out.push(s);
                     self.arm_rto(now);
@@ -792,10 +855,12 @@ impl Tcb {
                 match self.state {
                     TcpState::SynSent => {
                         self.retransmit_count += 1;
+                        self.rto_retransmits += 1;
                         out.push(self.make_syn_raw(cfg, now, false, true));
                     }
                     TcpState::SynRcvd => {
                         self.retransmit_count += 1;
+                        self.rto_retransmits += 1;
                         out.push(self.make_syn_raw(cfg, now, true, true));
                     }
                     _ => {
@@ -807,12 +872,14 @@ impl Tcb {
                                 self.sendbuf.next_segment(self.max_payload(cfg), u64::MAX)
                             {
                                 self.retransmit_count += 1;
+                                self.rto_retransmits += 1;
                                 let s =
                                     self.make_data_segment(seg.seq, seg.bytes, seg.psh, now, true);
                                 out.push(s);
                             }
                         } else if self.fin_sent && !self.fin_acked(self.sendbuf.una()) {
                             self.retransmit_count += 1;
+                            self.rto_retransmits += 1;
                             out.push(self.make_fin(now, true));
                         }
                     }
@@ -1018,9 +1085,13 @@ impl Tcb {
 
     fn update_snd_wnd(&mut self, hdr: &TcpHeader) {
         if self.snd_wl1.lt(hdr.seq) || (self.snd_wl1 == hdr.seq && self.snd_wl2.le(hdr.ack)) {
+            let before = self.snd_wnd;
             self.snd_wnd = u64::from(hdr.window) << self.snd_wscale;
             self.snd_wl1 = hdr.seq;
             self.snd_wl2 = hdr.ack;
+            if self.snd_wnd == 0 && before != 0 {
+                self.zero_window_events += 1;
+            }
         }
     }
 

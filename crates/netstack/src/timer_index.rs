@@ -53,6 +53,16 @@ impl TimerIndex {
         self.heap.first().copied()
     }
 
+    /// The armed deadline of one connection, if any.
+    pub fn get(&self, conn: ConnId) -> Option<SimTime> {
+        let i = *self.pos.get(conn.slot() as usize)?;
+        if i == ABSENT {
+            return None;
+        }
+        let (d, c) = self.heap[i as usize];
+        (c == conn).then_some(d)
+    }
+
     /// Sets or clears the deadline for `conn`. `None` disarms.
     pub fn update(&mut self, conn: ConnId, deadline: Option<SimTime>) {
         let slot = conn.slot() as usize;

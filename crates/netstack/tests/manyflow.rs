@@ -8,12 +8,14 @@
 
 use std::collections::{HashMap, VecDeque};
 use std::net::Ipv6Addr;
+use std::sync::Arc;
 
 use qpip_netstack::engine::Engine;
 use qpip_netstack::tcp::TcpState;
 use qpip_netstack::types::{ConnId, Emit, Endpoint, NetConfig, SendToken};
 use qpip_sim::rng::SplitMix64;
 use qpip_sim::time::{SimDuration, SimTime};
+use qpip_trace::{FlightRecorder, TraceEvent, Tracer};
 
 const FLOWS: usize = 256;
 const MSGS: usize = 2;
@@ -37,20 +39,28 @@ struct Net {
     delivered: Vec<Vec<u8>>,
     /// Client-side send-completion tokens, in arrival order.
     completions: Vec<u64>,
+    /// Shared flight recorder: client engine is node 0, server node 1.
+    rec: Arc<FlightRecorder>,
 }
 
 impl Net {
     fn new(seed: u64) -> Self {
         let cfg = NetConfig::qpip(16 * 1024);
+        let rec = Arc::new(FlightRecorder::new(4096));
+        let mut a = Engine::new(cfg.clone(), addr(1));
+        let mut b = Engine::new(cfg, addr(2));
+        a.set_tracer(Tracer::new(Arc::clone(&rec), 0));
+        b.set_tracer(Tracer::new(Arc::clone(&rec), 1));
         Net {
-            a: Engine::new(cfg.clone(), addr(1)),
-            b: Engine::new(cfg, addr(2)),
+            a,
+            b,
             now: SimTime::ZERO,
             queue: VecDeque::new(),
             rng: SplitMix64::new(seed),
             flow_of: HashMap::new(),
             delivered: vec![Vec::new(); FLOWS],
             completions: Vec::new(),
+            rec,
         }
     }
 
@@ -213,4 +223,44 @@ fn many_flows_survive_loss_and_reorder_then_drain() {
     assert_eq!(n.b.timer_index_len(), 0, "server timer index not empty");
     assert_eq!(n.a.next_deadline(), None);
     assert_eq!(n.b.next_deadline(), None);
+
+    // recovery-path counters must equal the traced event counts: the
+    // flight recorder and EngineStats are two views of one history.
+    // Exactness needs every event retained — verify no ring overwrote.
+    for (node, conn) in n.rec.scopes() {
+        assert_eq!(n.rec.overwritten(node, conn), 0, "ring ({node},{conn}) overwrote events");
+    }
+    let events = n.rec.events();
+    let count = |node: u32, pred: &dyn Fn(&TraceEvent) -> bool| {
+        events.iter().filter(|r| r.node == node && pred(&r.ev)).count() as u64
+    };
+    for (node, stats) in [(0u32, n.a.stats()), (1u32, n.b.stats())] {
+        assert_eq!(
+            stats.rto_retransmits,
+            count(node, &|ev| matches!(ev, TraceEvent::Retransmit { fast: false, .. })),
+            "node {node}: rto_retransmits vs traced RTO retransmit events"
+        );
+        assert_eq!(
+            stats.fast_retransmits,
+            count(node, &|ev| matches!(ev, TraceEvent::Retransmit { fast: true, .. })),
+            "node {node}: fast_retransmits vs traced fast-retransmit events"
+        );
+        assert_eq!(
+            stats.dupacks_rx,
+            count(node, &|ev| matches!(ev, TraceEvent::DupAck { .. })),
+            "node {node}: dupacks_rx vs traced dupack events"
+        );
+        assert_eq!(
+            stats.zero_window_events,
+            count(node, &|ev| matches!(ev, TraceEvent::ZeroWindow)),
+            "node {node}: zero_window_events vs traced zero-window events"
+        );
+    }
+    // under 2% loss the client must actually have retransmitted — the
+    // counters are proven non-vacuous
+    let a_stats = n.a.stats();
+    assert!(
+        a_stats.rto_retransmits + a_stats.fast_retransmits > 0,
+        "2% loss over {FLOWS} flows must force at least one retransmit"
+    );
 }

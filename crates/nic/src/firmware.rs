@@ -17,6 +17,7 @@ use qpip_netstack::types::{ConnId, Emit, Endpoint, NetConfig, PacketKind, Packet
 use qpip_sim::params;
 use qpip_sim::resource::{BandwidthPipe, SerialResource};
 use qpip_sim::time::{Clock, Cycles, SimDuration, SimTime};
+use qpip_trace::{Snapshot, TraceEvent, Tracer};
 
 use crate::occupancy::{Occupancy, PacketClass, Stage};
 use crate::rdma::{RdmaFrame, RdmaOpcode};
@@ -65,6 +66,22 @@ pub struct NicStats {
     /// RDMA operations rejected for bad keys/bounds (each tears the
     /// connection down, as Infiniband protection errors do).
     pub rdma_protection_errors: u64,
+}
+
+impl NicStats {
+    /// Renders the counters as a named snapshot (scope `"nic"`).
+    pub fn snapshot(&self) -> Snapshot {
+        let mut s = Snapshot::new("nic");
+        s.push("tx_packets", self.tx_packets)
+            .push("rx_packets", self.rx_packets)
+            .push("udp_no_wr_drops", self.udp_no_wr_drops)
+            .push("tcp_backlogged", self.tcp_backlogged)
+            .push("length_errors", self.length_errors)
+            .push("rdma_writes", self.rdma_writes)
+            .push("rdma_reads_served", self.rdma_reads_served)
+            .push("rdma_protection_errors", self.rdma_protection_errors);
+        s
+    }
 }
 
 #[derive(Debug)]
@@ -156,6 +173,8 @@ pub struct QpipNic {
     mul_cycles: u64,
     reassembler: qpip_netstack::frag::Reassembler,
     next_frag_id: u32,
+    /// Flight-recorder handle; also installed into the embedded engine.
+    tracer: Option<Tracer>,
 }
 
 impl QpipNic {
@@ -198,7 +217,16 @@ impl QpipNic {
             mul_cycles,
             reassembler: qpip_netstack::frag::Reassembler::new(),
             next_frag_id: 0,
+            tracer: None,
         }
+    }
+
+    /// Installs a flight-recorder handle on the firmware and its
+    /// embedded protocol engine. Firmware FSM stage executions are
+    /// recorded node-scoped; engine events carry their connection.
+    pub fn set_tracer(&mut self, tracer: Tracer) {
+        self.engine.set_tracer(tracer.clone());
+        self.tracer = Some(tracer);
     }
 
     /// This NIC's IPv6 address.
@@ -1029,6 +1057,12 @@ impl QpipNic {
     fn charge(&mut self, start: SimTime, stage: Stage, class: PacketClass, c: Cycles) -> SimTime {
         if c.count() == 0 {
             return start;
+        }
+        if let Some(tr) = &self.tracer {
+            tr.emit_node(
+                start,
+                TraceEvent::FwFsm { stage: stage.trace_name(), class: class.trace_name() },
+            );
         }
         let d = self.clock.cycles_to_duration(c);
         let end = self.proc.acquire(start, d);

@@ -69,6 +69,28 @@ impl Stage {
             Stage::UpdateRx => "Update",
         }
     }
+
+    /// Stable snake-case name for traces.
+    pub fn trace_name(self) -> &'static str {
+        match self {
+            Stage::DoorbellProcess => "doorbell",
+            Stage::Schedule => "schedule",
+            Stage::GetWr => "get_wr",
+            Stage::GetData => "get_data",
+            Stage::BuildTcpHdr => "build_tcp_hdr",
+            Stage::BuildUdpHdr => "build_udp_hdr",
+            Stage::BuildIpHdr => "build_ip_hdr",
+            Stage::FwChecksum => "fw_checksum",
+            Stage::MediaXmt => "media_xmt",
+            Stage::UpdateTx => "wr_status_tx",
+            Stage::MediaRcv => "media_rcv",
+            Stage::IpParse => "ip_parse",
+            Stage::TcpParse => "tcp_parse",
+            Stage::UdpParse => "udp_parse",
+            Stage::PutData => "put_data",
+            Stage::UpdateRx => "wr_status_rx",
+        }
+    }
 }
 
 /// What the NIC was handling when a stage ran (the columns of Tables 2
@@ -89,6 +111,21 @@ pub enum PacketClass {
     UdpRecv,
     /// Connection management traffic.
     Control,
+}
+
+impl PacketClass {
+    /// Stable snake-case name for traces.
+    pub fn trace_name(self) -> &'static str {
+        match self {
+            PacketClass::DataSend => "data_send",
+            PacketClass::AckSend => "ack_send",
+            PacketClass::DataRecv => "data_recv",
+            PacketClass::AckRecv => "ack_recv",
+            PacketClass::UdpSend => "udp_send",
+            PacketClass::UdpRecv => "udp_recv",
+            PacketClass::Control => "control",
+        }
+    }
 }
 
 /// Accumulated per-(stage, class) occupancy.

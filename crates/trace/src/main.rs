@@ -1,0 +1,62 @@
+//! `qpip-trace`: inspect a captured flight-recorder JSONL file.
+//!
+//! ```text
+//! qpip-trace <trace.jsonl>            # per-connection summary
+//! qpip-trace <trace.jsonl> --dump     # tcpdump-style event dump
+//! qpip-trace <trace.jsonl> --summary  # summary (explicit)
+//! ```
+//!
+//! Capture a file with `fig3_rtt --trace <path>` (DES, deterministic)
+//! or any harness that installs a [`qpip_trace::FlightRecorder`] and
+//! writes [`qpip_trace::FlightRecorder::export_jsonl`].
+
+use std::io::Write;
+use std::process::ExitCode;
+
+use qpip_trace::export::{dump, parse_jsonl, render_summary, summarize};
+
+/// Writes to stdout; a closed pipe (`qpip-trace … | head`) exits
+/// quietly instead of panicking.
+fn emit(text: &str) {
+    if let Err(e) = std::io::stdout().write_all(text.as_bytes()) {
+        if e.kind() == std::io::ErrorKind::BrokenPipe {
+            std::process::exit(0);
+        }
+        panic!("write to stdout: {e}");
+    }
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let file = match args.iter().find(|a| !a.starts_with("--")) {
+        Some(f) => f.clone(),
+        None => {
+            eprintln!("usage: qpip-trace <trace.jsonl> [--dump] [--summary]");
+            return ExitCode::FAILURE;
+        }
+    };
+    let want_dump = args.iter().any(|a| a == "--dump");
+    let want_summary = args.iter().any(|a| a == "--summary") || !want_dump;
+
+    let text = match std::fs::read_to_string(&file) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("qpip-trace: cannot read {file}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let events = parse_jsonl(&text);
+    if events.is_empty() {
+        eprintln!("qpip-trace: no parseable events in {file}");
+        return ExitCode::FAILURE;
+    }
+
+    if want_dump {
+        emit(&dump(&events));
+    }
+    if want_summary {
+        emit(&format!("{} events across {} line(s)\n", events.len(), text.lines().count()));
+        emit(&render_summary(&summarize(&events)));
+    }
+    ExitCode::SUCCESS
+}

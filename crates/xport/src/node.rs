@@ -26,6 +26,7 @@ use qpip_netstack::types::{ConnId, Emit, Endpoint, NetConfig, PacketOut, SendTok
 use qpip_nic::types::{
     Completion, CompletionKind, CompletionStatus, CqId, NicError, QpId, RecvWr, SendWr, ServiceType,
 };
+use qpip_trace::{Snapshot, TraceEvent, Tracer};
 
 /// Largest datagram the runtime will receive in one `recv_from`. The
 /// engine never builds a packet above the configured MTU, and the
@@ -128,6 +129,19 @@ pub struct XportStats {
     pub tcp_backlogged: u64,
 }
 
+impl XportStats {
+    /// Renders the counters as a named snapshot (scope `"xport"`).
+    pub fn snapshot(&self) -> Snapshot {
+        let mut s = Snapshot::new("xport");
+        s.push("datagrams_rx", self.datagrams_rx)
+            .push("datagrams_tx", self.datagrams_tx)
+            .push("unroutable_drops", self.unroutable_drops)
+            .push("udp_no_wr_drops", self.udp_no_wr_drops)
+            .push("tcp_backlogged", self.tcp_backlogged);
+        s
+    }
+}
+
 /// Per-QP multiplexing state (mirrors the simulated firmware's, minus
 /// the cycle accounting).
 #[derive(Debug)]
@@ -167,6 +181,9 @@ pub struct XportNode {
     last_refresh: Instant,
     buf: Vec<u8>,
     stats: XportStats,
+    /// Flight-recorder handle; also installed into the embedded engine.
+    /// Events are stamped with this node's wall-clock-mapped [`SimTime`].
+    tracer: Option<Tracer>,
 }
 
 impl fmt::Debug for XportNode {
@@ -210,7 +227,17 @@ impl XportNode {
             last_refresh: Instant::now(),
             buf: vec![0; RECV_BUF],
             stats: XportStats::default(),
+            tracer: None,
         })
+    }
+
+    /// Installs a flight-recorder handle on the runtime and its embedded
+    /// engine. Socket-level tx/rx are recorded node-scoped; protocol
+    /// events carry their connection. Timestamps are this node's
+    /// wall-clock-mapped simulation time.
+    pub fn set_tracer(&mut self, tracer: Tracer) {
+        self.engine.set_tracer(tracer.clone());
+        self.tracer = Some(tracer);
     }
 
     /// The OS socket address this node receives on (the address to hand
@@ -621,6 +648,9 @@ impl XportNode {
             Ok((n, _from)) => {
                 self.stats.datagrams_rx += 1;
                 let now = self.clock.now();
+                if let Some(tr) = &self.tracer {
+                    tr.emit_node(now, TraceEvent::Sock { op: "rx", bytes: n as u32 });
+                }
                 let emits = self.engine.on_packet(now, &self.buf[..n]);
                 self.dispatch(emits)?;
                 Ok(true)
@@ -670,6 +700,12 @@ impl XportNode {
         };
         self.sock.send_to(&p.bytes, to)?;
         self.stats.datagrams_tx += 1;
+        if let Some(tr) = &self.tracer {
+            tr.emit_node(
+                self.clock.now(),
+                TraceEvent::Sock { op: "tx", bytes: p.bytes.len() as u32 },
+            );
+        }
         Ok(())
     }
 

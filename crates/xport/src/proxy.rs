@@ -65,6 +65,18 @@ pub struct ProxyStats {
     pub unroutable: u64,
 }
 
+impl ProxyStats {
+    /// Renders the counters as a named snapshot (scope `"proxy"`).
+    pub fn snapshot(&self) -> qpip_trace::Snapshot {
+        let mut s = qpip_trace::Snapshot::new("proxy");
+        s.push("forwarded", self.forwarded)
+            .push("dropped", self.dropped)
+            .push("reordered", self.reordered)
+            .push("unroutable", self.unroutable);
+        s
+    }
+}
+
 #[derive(Debug, Default)]
 struct StatsCells {
     forwarded: AtomicU64,

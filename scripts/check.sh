@@ -61,4 +61,48 @@ timeout 60 ./target/release/examples/live_node >/dev/null || {
     exit 1
 }
 
+# Flight-recorder smoke: capture a deterministic DES trace from the
+# Figure 3 workload and make sure the qpip-trace CLI digests it into a
+# non-empty per-connection summary.
+echo "==> smoke: fig3_rtt --trace + qpip-trace CLI"
+trace_file="$(mktemp)"
+./target/release/fig3_rtt --trace "$trace_file" >/dev/null
+summary="$(./target/release/qpip-trace "$trace_file")"
+rm -f "$trace_file"
+if [[ -z "$summary" ]] || ! grep -q 'events across' <<<"$summary"; then
+    echo "$summary"
+    echo "FAIL: qpip-trace produced no summary"
+    exit 1
+fi
+
+# Tracing must stay off the hot path: with no recorder installed the
+# wire_hotpath speedups have to hold well above the noise floor of the
+# values recorded when the zero-copy datapath PR landed (the speedups
+# are self-normalized — current vs baseline measured in the same run —
+# so they are machine-independent; the floors sit at ~60% of the
+# recorded values to absorb CI noise).
+echo "==> guard: wire_hotpath speedups vs datapath-PR floors"
+bench_out="$(cargo bench -p qpip-bench --bench wire_hotpath 2>/dev/null)"
+if ! awk '
+    BEGIN {
+        floors["checksum/1500"] = 2.0
+        floors["checksum/9000"] = 2.5
+        floors["udp_encode_decode/8928"] = 2.0
+        floors["tcp_encode_decode/8928"] = 2.0
+        floors["des_timer_churn_10mb_ttcp"] = 1.5
+    }
+    /->/ {
+        name = $1; speedup = $NF; sub(/x$/, "", speedup)
+        if ((name in floors) && speedup + 0 < floors[name]) {
+            printf "  %s speedup %.2fx below floor %.2fx\n", name, speedup, floors[name]
+            bad = 1
+        }
+    }
+    END { exit bad }
+' <<<"$bench_out"; then
+    echo "$bench_out"
+    echo "FAIL: wire_hotpath regressed against the datapath-PR baseline"
+    exit 1
+fi
+
 echo "All checks passed."
