@@ -1,0 +1,104 @@
+//! Deterministic protocol fuzzer.
+//!
+//! ```text
+//! conform_fuzz --seed 0xfeedbeef --iters 10000   # fixed-budget smoke
+//! conform_fuzz --seed 1 --seconds 60             # wall-clock soak
+//! ```
+//!
+//! Exit status 0 means every case passed the TCB invariant oracle;
+//! status 1 prints the minimized failing script plus the seeds that
+//! replay it.
+
+use std::process::ExitCode;
+
+use qpip_conform::fuzz;
+
+fn parse_u64(s: &str) -> Option<u64> {
+    if let Some(hex) = s.strip_prefix("0x") {
+        u64::from_str_radix(hex, 16).ok()
+    } else {
+        s.parse().ok()
+    }
+}
+
+fn main() -> ExitCode {
+    let mut seed = 0xfeed_beefu64;
+    let mut iters = 10_000u64;
+    let mut seconds: Option<u64> = None;
+    let mut case: Option<u64> = None;
+
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    while i < args.len() {
+        let take = |i: &mut usize| -> Option<u64> {
+            *i += 1;
+            args.get(*i).and_then(|s| parse_u64(s))
+        };
+        match args[i].as_str() {
+            "--seed" => match take(&mut i) {
+                Some(v) => seed = v,
+                None => return usage(),
+            },
+            "--iters" => match take(&mut i) {
+                Some(v) => iters = v,
+                None => return usage(),
+            },
+            "--seconds" => match take(&mut i) {
+                Some(v) => seconds = Some(v),
+                None => return usage(),
+            },
+            "--case" => match take(&mut i) {
+                Some(v) => case = Some(v),
+                None => return usage(),
+            },
+            _ => return usage(),
+        }
+        i += 1;
+    }
+
+    if let Some(case_seed) = case {
+        println!("replaying case seed {case_seed:#x}...");
+        return match fuzz::run_case(case_seed) {
+            Ok(()) => {
+                println!("ok: case passed");
+                ExitCode::SUCCESS
+            }
+            Err((steps, _)) => {
+                let (steps, message) = fuzz::minimize(steps);
+                eprintln!("case {case_seed:#x} fails: {message}");
+                for (i, s) in steps.iter().enumerate() {
+                    eprintln!("  {i:>3}. {s}");
+                }
+                ExitCode::FAILURE
+            }
+        };
+    }
+
+    let result = match seconds {
+        Some(s) => {
+            println!("soaking for {s}s from seed {seed:#x}...");
+            fuzz::run_for(seed, s)
+        }
+        None => {
+            println!("running {iters} cases from seed {seed:#x}...");
+            fuzz::run(seed, iters)
+        }
+    };
+
+    match result {
+        Ok(n) => {
+            println!("ok: {n} cases, zero invariant violations");
+            ExitCode::SUCCESS
+        }
+        Err(failure) => {
+            eprintln!("{failure}");
+            eprintln!("replay with: conform_fuzz --case {:#x}", failure.case_seed);
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn usage() -> ExitCode {
+    eprintln!("usage: conform_fuzz [--seed N] [--iters N | --seconds N]");
+    ExitCode::FAILURE
+}

@@ -1,0 +1,21 @@
+//! Conformance harness for the QPIP protocol engine.
+//!
+//! Three layers, all driving the *unmodified* [`qpip_netstack::Engine`]:
+//!
+//! - [`harness`] — a packetdrill-style scripted segment harness. A test
+//!   plays the remote peer: it injects hand-built wire segments into the
+//!   engine and asserts exactly what comes back
+//!   (`inject(seg().syn().seq(100))` / `expect(synack().ack(101))`).
+//! - [`fuzz`] — a deterministic, seed-replayable fuzz loop that throws
+//!   mutated/truncated/reordered segments at the engine and checks the
+//!   TCB invariant oracle after every event, with drop-one-step
+//!   minimization of failing cases.
+//!
+//! The TCB invariant oracle itself lives in
+//! [`qpip_netstack::invariant`] so the engine can self-check in every
+//! debug build; this crate is the harness that drives it hard.
+
+pub mod fuzz;
+pub mod harness;
+
+pub use harness::{seg, Expect, Harness, SegBuilder, WireSeg};

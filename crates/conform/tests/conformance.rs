@@ -1,0 +1,390 @@
+//! Scripted TCP conformance suite.
+//!
+//! Each test is a packetdrill-style script: the test plays the remote
+//! peer byte-for-byte against one engine, asserting every reply segment
+//! and the resulting state transitions. The TCB invariant oracle runs
+//! after every injected event (the harness panics on the first
+//! violation), so these scripts double as oracle workloads.
+
+use qpip_conform::{seg, Expect, Harness};
+use qpip_netstack::tcp::TcpState;
+use qpip_netstack::types::{Emit, NetConfig};
+use qpip_sim::time::SimDuration;
+
+const PORT: u16 = 5000;
+
+fn cfg() -> NetConfig {
+    NetConfig::qpip(9000)
+}
+
+fn delivered(events: &[Emit]) -> Vec<u8> {
+    events
+        .iter()
+        .filter_map(|e| match e {
+            Emit::TcpDelivered { data, .. } => Some(data.clone()),
+            _ => None,
+        })
+        .flatten()
+        .collect()
+}
+
+fn count_send_complete(events: &[Emit]) -> usize {
+    events.iter().filter(|e| matches!(e, Emit::TcpSendComplete { .. })).count()
+}
+
+// ----- opening ------------------------------------------------------
+
+#[test]
+fn passive_open_three_way_handshake() {
+    let mut h = Harness::server(cfg(), PORT);
+    h.inject(seg().syn().seq(100).win(65535).mss(1460));
+    assert_eq!(h.state(), Some(TcpState::SynRcvd));
+    let sa = h.expect(Expect::synack().ack_no(101).mss_present(true));
+    h.inject(seg().seq(101).ack(sa.hdr.seq.0 + 1));
+    h.expect_quiet();
+    assert_eq!(h.state(), Some(TcpState::Established));
+    let ev = h.take_events();
+    assert!(ev.iter().any(|e| matches!(e, Emit::TcpAccepted { .. })));
+}
+
+#[test]
+fn active_open_offers_options_and_completes() {
+    let mut h = Harness::client(cfg(), PORT);
+    let syn = h.expect(Expect::any().mss_present(true).ts_present(true));
+    assert!(syn.hdr.flags.syn && !syn.hdr.flags.ack);
+    assert!(syn.hdr.options.window_scale.is_some());
+    assert_eq!(h.state(), Some(TcpState::SynSent));
+    h.inject(seg().syn().seq(9000).ack(syn.hdr.seq.0 + 1).win(65535).mss(1460));
+    h.expect(Expect::pure_ack().ack_no(9001));
+    assert_eq!(h.state(), Some(TcpState::Established));
+    let ev = h.take_events();
+    assert!(ev.iter().any(|e| matches!(e, Emit::TcpConnected { .. })));
+}
+
+#[test]
+fn syn_retransmits_on_rto_with_same_iss() {
+    let mut h = Harness::client(cfg(), PORT);
+    let syn = h.expect(Expect::any());
+    h.fire_timer();
+    let again = h.expect(Expect::any());
+    assert!(again.hdr.flags.syn);
+    assert_eq!(again.hdr.seq, syn.hdr.seq);
+    assert_eq!(h.stats().rto_retransmits, 1);
+}
+
+#[test]
+fn duplicate_syn_in_syn_rcvd_is_reacked() {
+    let mut h = Harness::server(cfg(), PORT);
+    h.inject(seg().syn().seq(100).win(65535).mss(1460));
+    h.expect(Expect::synack().ack_no(101));
+    // The client's SYN-ACK got lost from its view; it retransmits the
+    // SYN. The engine re-acknowledges instead of spawning a second TCB.
+    h.inject(seg().syn().seq(100).win(65535).mss(1460));
+    h.expect(Expect::pure_ack().ack_no(101));
+    assert_eq!(h.state(), Some(TcpState::SynRcvd));
+    assert_eq!(h.engine().conn_count(), 1);
+}
+
+#[test]
+fn bare_syn_in_syn_sent_is_ignored_no_simultaneous_open() {
+    // §4.1: the QPIP subset has no simultaneous open. A crossing SYN in
+    // SYN-SENT is dropped, not answered with SYN-ACK.
+    let mut h = Harness::client(cfg(), PORT);
+    h.expect(Expect::any());
+    h.inject(seg().syn().seq(500).win(65535));
+    h.expect_quiet();
+    assert_eq!(h.state(), Some(TcpState::SynSent));
+}
+
+#[test]
+fn syn_ack_with_wrong_ack_is_ignored_in_syn_sent() {
+    let mut h = Harness::client(cfg(), PORT);
+    let syn = h.expect(Expect::any());
+    h.inject(seg().syn().seq(9000).ack(syn.hdr.seq.0 + 999).win(65535));
+    h.expect_quiet();
+    assert_eq!(h.state(), Some(TcpState::SynSent));
+}
+
+#[test]
+fn option_negotiation_window_scale_and_timestamps() {
+    let mut h = Harness::server(cfg(), PORT);
+    h.inject(seg().syn().seq(100).win(65535).mss(1400).wscale(5).ts(7777, 0));
+    let sa = h.expect(Expect::synack().ack_no(101).mss_present(true).ts_present(true).ts_ecr(7777));
+    assert!(sa.hdr.options.window_scale.is_some());
+    h.inject(seg().seq(101).ack(sa.hdr.seq.0 + 1).ts(7780, sa.hdr.options.timestamps.unwrap().0));
+    assert_eq!(h.state(), Some(TcpState::Established));
+}
+
+// ----- data transfer ------------------------------------------------
+
+#[test]
+fn in_order_data_is_delivered_and_immediately_acked() {
+    let mut h = Harness::server(cfg(), PORT);
+    let iss = h.handshake(100);
+    h.inject(seg().seq(101).ack(iss + 1).payload(b"hello"));
+    // AckPolicy::Immediate: every data segment is acked at once (§4.1)
+    h.expect(Expect::pure_ack().ack_no(106));
+    h.expect_quiet();
+    assert_eq!(delivered(&h.take_events()), b"hello");
+}
+
+#[test]
+fn engine_data_carries_correct_seq_and_payload() {
+    let mut h = Harness::server(cfg(), PORT);
+    let iss = h.handshake(100);
+    h.send(b"hello qpip");
+    let d = h.expect(Expect::data(b"hello qpip").seq(iss + 1).ack_no(101));
+    assert!(d.hdr.flags.psh || !d.payload.is_empty());
+    // peer acks; the send unit completes
+    h.inject(seg().seq(101).ack(iss + 11));
+    let ev = h.take_events();
+    assert_eq!(count_send_complete(&ev), 1);
+}
+
+#[test]
+fn out_of_order_segment_is_dropped_with_duplicate_ack() {
+    let mut h = Harness::server(cfg(), PORT);
+    let iss = h.handshake(100);
+    // A gap: seq 201 when 101 is expected. No reassembly in the subset
+    // (§4.1) — the segment is dropped and a duplicate ACK goes out.
+    h.inject(seg().seq(201).ack(iss + 1).payload(&[0xaa; 50]));
+    h.expect(Expect::pure_ack().ack_no(101));
+    let conn = h.conn().unwrap();
+    assert_eq!(h.engine().conn_ooo_drops(conn), Some(1));
+    assert!(delivered(&h.take_events()).is_empty());
+}
+
+#[test]
+fn duplicate_data_is_reacked_not_redelivered() {
+    let mut h = Harness::server(cfg(), PORT);
+    let iss = h.handshake(100);
+    h.inject(seg().seq(101).ack(iss + 1).payload(b"abc"));
+    h.expect(Expect::pure_ack().ack_no(104));
+    assert_eq!(delivered(&h.take_events()), b"abc");
+    // the ACK got lost from the peer's view; it retransmits
+    h.inject(seg().seq(101).ack(iss + 1).payload(b"abc"));
+    h.expect(Expect::pure_ack().ack_no(104));
+    assert!(delivered(&h.take_events()).is_empty());
+}
+
+#[test]
+fn retransmit_on_rto_uses_same_sequence_number() {
+    let mut h = Harness::server(cfg(), PORT);
+    let iss = h.handshake(100);
+    h.send(&[0x42; 200]);
+    h.expect(Expect::data(&[0x42; 200]).seq(iss + 1));
+    h.fire_timer();
+    h.expect(Expect::data(&[0x42; 200]).seq(iss + 1));
+    assert_eq!(h.stats().rto_retransmits, 1);
+}
+
+#[test]
+fn third_duplicate_ack_triggers_fast_retransmit() {
+    let mut h = Harness::server(cfg(), PORT);
+    let iss = h.handshake(100);
+    for _ in 0..5 {
+        h.send(&[0x55; 100]);
+    }
+    for i in 0..5 {
+        h.expect(Expect::data(&[0x55; 100]).seq(iss + 1 + i * 100));
+    }
+    // first segment lost from the peer's view: three duplicate ACKs
+    h.inject(seg().seq(101).ack(iss + 1));
+    h.expect_quiet();
+    h.inject(seg().seq(101).ack(iss + 1));
+    h.expect_quiet();
+    h.inject(seg().seq(101).ack(iss + 1));
+    h.expect(Expect::data(&[0x55; 100]).seq(iss + 1));
+    assert_eq!(h.stats().fast_retransmits, 1);
+    assert_eq!(h.stats().dupacks_rx, 3);
+    // full cumulative ACK completes all five units
+    h.inject(seg().seq(101).ack(iss + 501));
+    assert_eq!(count_send_complete(&h.take_events()), 5);
+}
+
+#[test]
+fn zero_window_blocks_send_and_reopen_releases_no_persist_timer() {
+    let mut h = Harness::server(cfg(), PORT);
+    let iss = h.handshake(100);
+    h.inject(seg().seq(101).ack(iss + 1).win(0));
+    let conn = h.conn().unwrap();
+    assert_eq!(h.engine().conn_snd_wnd(conn), Some(0));
+    h.send(&[0x77; 100]);
+    h.expect_quiet();
+    // Documented subset behaviour: no persist timer. Nothing is armed;
+    // the receiver re-advertises its window instead (QPIP posts WRs).
+    assert!(h.next_deadline().is_none());
+    h.inject(seg().seq(101).ack(iss + 1).win(65535));
+    h.expect(Expect::data(&[0x77; 100]).seq(iss + 1));
+}
+
+#[test]
+fn peer_window_scale_is_applied_to_advertised_window() {
+    let mut h = Harness::server(cfg(), PORT);
+    h.inject(seg().syn().seq(100).win(65535).mss(1460).wscale(2));
+    let sa = h.expect(Expect::synack().ack_no(101));
+    let iss = sa.hdr.seq.0;
+    h.inject(seg().seq(101).ack(iss + 1).win(100));
+    let conn = h.conn().unwrap();
+    // 100 << 2 = 400 usable bytes
+    assert_eq!(h.engine().conn_snd_wnd(conn), Some(400));
+    h.send(&[0x11; 500]);
+    h.expect_quiet(); // 500 > 400: blocked
+    h.inject(seg().seq(101).ack(iss + 1).win(200)); // 800 bytes now
+    h.expect(Expect::data(&[0x11; 500]).seq(iss + 1));
+}
+
+#[test]
+fn timestamp_echo_reflects_latest_in_order_tsval() {
+    let mut h = Harness::server(cfg(), PORT);
+    h.inject(seg().syn().seq(100).win(65535).mss(1460).ts(500, 0));
+    let sa = h.expect(Expect::synack().ts_present(true).ts_ecr(500));
+    let iss = sa.hdr.seq.0;
+    h.inject(seg().seq(101).ack(iss + 1).ts(510, sa.hdr.options.timestamps.unwrap().0));
+    h.inject(seg().seq(101).ack(iss + 1).payload(b"x").ts(777, 0));
+    h.expect(Expect::pure_ack().ack_no(102).ts_present(true).ts_ecr(777));
+}
+
+// ----- teardown -----------------------------------------------------
+
+#[test]
+fn passive_close_full_lifecycle() {
+    let mut h = Harness::server(cfg(), PORT);
+    let iss = h.handshake(100);
+    // peer closes first
+    h.inject(seg().fin().seq(101).ack(iss + 1));
+    h.expect(Expect::pure_ack().ack_no(102));
+    assert_eq!(h.state(), Some(TcpState::CloseWait));
+    assert!(h.take_events().iter().any(|e| matches!(e, Emit::TcpPeerClosed { .. })));
+    // application closes; FIN goes out, LAST-ACK
+    h.close();
+    h.expect(Expect::fin_seg().seq(iss + 1).ack_no(102));
+    assert_eq!(h.state(), Some(TcpState::LastAck));
+    // final ACK: connection fully closed and reaped
+    h.inject(seg().seq(102).ack(iss + 2));
+    assert!(h.take_events().iter().any(|e| matches!(e, Emit::TcpClosed { .. })));
+    assert_eq!(h.state(), None);
+    assert_eq!(h.engine().conn_count(), 0);
+}
+
+#[test]
+fn active_close_fin_wait_sequence_to_time_wait() {
+    let mut h = Harness::server(cfg(), PORT);
+    let iss = h.handshake(100);
+    h.close();
+    h.expect(Expect::fin_seg().seq(iss + 1).ack_no(101));
+    assert_eq!(h.state(), Some(TcpState::FinWait1));
+    h.inject(seg().seq(101).ack(iss + 2));
+    assert_eq!(h.state(), Some(TcpState::FinWait2));
+    h.inject(seg().fin().seq(101).ack(iss + 2));
+    h.expect(Expect::pure_ack().ack_no(102));
+    assert_eq!(h.state(), Some(TcpState::TimeWait));
+    // 2×MSL expiry reaps the connection
+    h.fire_timer();
+    assert!(h.take_events().iter().any(|e| matches!(e, Emit::TcpClosed { .. })));
+    assert_eq!(h.state(), None);
+}
+
+#[test]
+fn fin_plus_ack_combined_goes_straight_to_time_wait() {
+    let mut h = Harness::server(cfg(), PORT);
+    let iss = h.handshake(100);
+    h.close();
+    h.expect(Expect::fin_seg().seq(iss + 1));
+    // one segment acks our FIN and carries the peer's FIN
+    h.inject(seg().fin().seq(101).ack(iss + 2));
+    h.expect(Expect::pure_ack().ack_no(102));
+    assert_eq!(h.state(), Some(TcpState::TimeWait));
+    h.fire_timer();
+    assert_eq!(h.state(), None);
+}
+
+#[test]
+fn unacked_fin_retransmits_on_rto() {
+    let mut h = Harness::server(cfg(), PORT);
+    let iss = h.handshake(100);
+    h.close();
+    h.expect(Expect::fin_seg().seq(iss + 1));
+    h.fire_timer();
+    h.expect(Expect::fin_seg().seq(iss + 1));
+    assert_eq!(h.stats().rto_retransmits, 1);
+    assert_eq!(h.state(), Some(TcpState::FinWait1));
+}
+
+#[test]
+fn exact_sequence_rst_tears_the_connection_down() {
+    let mut h = Harness::server(cfg(), PORT);
+    let iss = h.handshake(100);
+    h.inject(seg().rst().seq(101).ack(iss + 1));
+    h.expect_quiet();
+    assert!(h.take_events().iter().any(|e| matches!(e, Emit::TcpReset { .. })));
+    assert_eq!(h.state(), None);
+    assert_eq!(h.engine().conn_count(), 0);
+}
+
+#[test]
+fn data_after_reset_is_dropped_at_demux() {
+    let mut h = Harness::server(cfg(), PORT);
+    let iss = h.handshake(100);
+    h.inject(seg().rst().seq(101).ack(iss + 1));
+    let before = h.stats().demux_drops;
+    h.inject(seg().seq(101).ack(iss + 1).payload(b"late"));
+    h.expect_quiet();
+    assert_eq!(h.stats().demux_drops, before + 1);
+}
+
+// ----- demux and stray segments -------------------------------------
+
+#[test]
+fn segment_to_unbound_port_is_counted_and_unanswered() {
+    let mut h = Harness::server(cfg(), PORT);
+    h.inject(seg().seq(1).ack(1).to_port(9999).payload(b"who"));
+    h.expect_quiet();
+    assert_eq!(h.stats().demux_drops, 1);
+    assert_eq!(h.engine().conn_count(), 0);
+}
+
+#[test]
+fn data_piggybacked_on_handshake_ack_is_delivered() {
+    let mut h = Harness::server(cfg(), PORT);
+    h.inject(seg().syn().seq(100).win(65535).mss(1460));
+    let sa = h.expect(Expect::synack());
+    // third ACK carries the first request bytes immediately
+    h.inject(seg().seq(101).ack(sa.hdr.seq.0 + 1).payload(b"req1"));
+    h.expect(Expect::pure_ack().ack_no(105));
+    assert_eq!(h.state(), Some(TcpState::Established));
+    assert_eq!(delivered(&h.take_events()), b"req1");
+}
+
+// ----- malformed input ----------------------------------------------
+
+#[test]
+fn corrupted_checksum_is_dropped_without_state_change() {
+    let mut h = Harness::server(cfg(), PORT);
+    let iss = h.handshake(100);
+    h.inject(seg().seq(101).ack(iss + 1).payload(b"evil").bad_checksum());
+    h.expect_quiet();
+    assert_eq!(h.stats().checksum_drops, 1);
+    assert_eq!(h.state(), Some(TcpState::Established));
+    assert!(delivered(&h.take_events()).is_empty());
+}
+
+#[test]
+fn truncated_packet_is_dropped_as_parse_error() {
+    let mut h = Harness::server(cfg(), PORT);
+    let iss = h.handshake(100);
+    h.inject(seg().seq(101).ack(iss + 1).payload(b"short").truncated(44));
+    h.expect_quiet();
+    assert_eq!(h.stats().parse_drops, 1);
+    assert_eq!(h.state(), Some(TcpState::Established));
+}
+
+#[test]
+fn advance_between_steps_keeps_connection_stable() {
+    let mut h = Harness::server(cfg(), PORT);
+    let iss = h.handshake(100);
+    h.advance(SimDuration::from_millis(50));
+    h.inject(seg().seq(101).ack(iss + 1).payload(b"later"));
+    h.expect(Expect::pure_ack().ack_no(106));
+    assert_eq!(delivered(&h.take_events()), b"later");
+}

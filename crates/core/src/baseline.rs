@@ -370,15 +370,33 @@ impl SocketWorld {
             WorldEvent::Frame { node, bytes } => {
                 let outs = self.nodes[node].stack.on_frame(t, &bytes);
                 self.absorb(node, outs);
+                self.enforce_oracle(node);
             }
             WorldEvent::Timer { node } => {
                 self.nodes[node].timer_event = None;
                 let outs = self.nodes[node].stack.on_timer(t);
                 self.absorb(node, outs);
+                self.enforce_oracle(node);
             }
         }
         true
     }
+
+    /// Debug-build oracle gate: after every event, surface any TCB
+    /// invariant violation the engine's per-event hook latched.
+    ///
+    /// # Panics
+    ///
+    /// Panics naming the violated invariant.
+    #[cfg(debug_assertions)]
+    fn enforce_oracle(&mut self, node: usize) {
+        if let Some(v) = self.nodes[node].stack.take_invariant_violation() {
+            panic!("TCB invariant `{}` violated on node {node}: {}", v.invariant, v.detail);
+        }
+    }
+
+    #[cfg(not(debug_assertions))]
+    fn enforce_oracle(&mut self, _node: usize) {}
 
     /// Runs until idle.
     pub fn run_until_idle(&mut self) {

@@ -463,10 +463,12 @@ impl MixedWorld {
                 Backend::Qpip { nic, .. } => {
                     let outs = nic.on_packet(t, &bytes);
                     self.absorb_qpip(node, outs);
+                    self.enforce_oracle(node);
                 }
                 Backend::Host { stack, .. } => {
                     let outs = stack.on_frame(t, &bytes);
                     self.absorb_host(node, outs);
+                    self.enforce_oracle(node);
                 }
             },
             Ev::Timer { node } => {
@@ -481,10 +483,31 @@ impl MixedWorld {
                         self.absorb_host(node, outs);
                     }
                 }
+                self.enforce_oracle(node);
             }
         }
         true
     }
+
+    /// Debug-build oracle gate: after every event, surface any TCB
+    /// invariant violation latched by either backend's engine.
+    ///
+    /// # Panics
+    ///
+    /// Panics naming the violated invariant.
+    #[cfg(debug_assertions)]
+    fn enforce_oracle(&mut self, node: usize) {
+        let v = match &mut self.nodes[node].backend {
+            Backend::Qpip { nic, .. } => nic.take_invariant_violation(),
+            Backend::Host { stack, .. } => stack.take_invariant_violation(),
+        };
+        if let Some(v) = v {
+            panic!("TCB invariant `{}` violated on node {node}: {}", v.invariant, v.detail);
+        }
+    }
+
+    #[cfg(not(debug_assertions))]
+    fn enforce_oracle(&mut self, _node: usize) {}
 
     fn transmit(&mut self, node: usize, at: SimTime, dst: Ipv6Addr, bytes: qpip_wire::Packet) {
         let from = self.nodes[node].fabric_id;

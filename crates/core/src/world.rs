@@ -539,14 +539,58 @@ impl QpipWorld {
             WorldEvent::Packet { node, bytes } => {
                 let outs = self.nodes[node].nic.on_packet(t, &bytes);
                 self.absorb(node, outs);
+                self.enforce_oracle(node);
             }
             WorldEvent::Timer { node } => {
                 self.nodes[node].timer_event = None;
                 let outs = self.nodes[node].nic.on_timer(t);
                 self.absorb(node, outs);
+                self.enforce_oracle(node);
             }
         }
         true
+    }
+
+    /// Debug-build oracle gate: after every event, surface any TCB
+    /// invariant violation the engine's per-event hook latched, naming
+    /// the invariant and dumping the connection's recent history.
+    ///
+    /// # Panics
+    ///
+    /// Panics with [`QpipWorld::oracle_report`] on a latched violation.
+    #[cfg(debug_assertions)]
+    fn enforce_oracle(&mut self, node: usize) {
+        if let Some(v) = self.nodes[node].nic.take_invariant_violation() {
+            panic!("{}", self.oracle_report(node, &v));
+        }
+    }
+
+    #[cfg(not(debug_assertions))]
+    fn enforce_oracle(&mut self, _node: usize) {}
+
+    /// Renders an invariant violation with the failing invariant's name
+    /// and the connection's last flight-recorder events (when a
+    /// recorder is installed).
+    #[cfg(debug_assertions)]
+    fn oracle_report(
+        &self,
+        node: usize,
+        v: &qpip_netstack::invariant::InvariantViolation,
+    ) -> String {
+        use core::fmt::Write as _;
+        let mut s =
+            format!("TCB invariant `{}` violated on node {node}: {}\n", v.invariant, v.detail);
+        match (&self.recorder, v.conn) {
+            (Some(rec), Some(conn)) => {
+                let tail = rec.last_events(node as u32, conn.0, 8);
+                let _ = writeln!(s, "  last {} flight-recorder events for {conn}:", tail.len());
+                for line in qpip_trace::export::dump(&tail).lines() {
+                    let _ = writeln!(s, "    {line}");
+                }
+            }
+            _ => s.push_str("  (install a flight recorder for per-connection event history)"),
+        }
+        s
     }
 
     /// Runs the event loop until nothing is pending.
@@ -814,5 +858,47 @@ mod tests {
         assert!(msg.contains(&format!("node {}", b.0)), "other node's state not dumped: {msg}");
         assert!(msg.contains("qp#"), "per-QP state not dumped: {msg}");
         assert!(msg.contains("hint:"), "hint missing: {msg}");
+    }
+
+    /// When the oracle trips inside a DES world, the report must name
+    /// the failing invariant and include the connection's recent
+    /// flight-recorder events — not just "invariant violated".
+    #[test]
+    fn oracle_report_names_invariant_and_dumps_recorder_tail() {
+        let mut w = QpipWorld::myrinet();
+        let a = w.add_node(NicConfig::paper_default());
+        let b = w.add_node(NicConfig::paper_default());
+        let rec = Arc::new(FlightRecorder::new(64));
+        w.install_recorder(Arc::clone(&rec));
+        let cqa = w.create_cq(a);
+        let cqb = w.create_cq(b);
+        let qa = w.create_qp(a, ServiceType::ReliableTcp, cqa, cqa).unwrap();
+        let qb = w.create_qp(b, ServiceType::ReliableTcp, cqb, cqb).unwrap();
+        w.post_recv(b, qb, RecvWr { wr_id: 1, capacity: 16 * 1024 }).unwrap();
+        w.post_recv(a, qa, RecvWr { wr_id: 2, capacity: 16 * 1024 }).unwrap();
+        w.tcp_listen(b, 5000, qb).unwrap();
+        w.tcp_connect(a, qa, 4000, Endpoint::new(w.addr(b), 5000)).unwrap();
+        w.wait(a, cqa);
+        w.wait(b, cqb);
+
+        // the handshake was recorded; pick node a's traced connection
+        let conn = rec
+            .scopes()
+            .into_iter()
+            .find(|&(n, c)| n == 0 && c != qpip_trace::NODE_SCOPE)
+            .map(|(_, c)| c)
+            .expect("handshake left a per-connection trace");
+        let violation = qpip_netstack::invariant::InvariantViolation {
+            invariant: "snd_seq_order",
+            conn: Some(qpip_netstack::ConnId(conn)),
+            detail: "snd_una=5 snd_nxt=3 buffered_end=9".to_string(),
+        };
+        let report = w.oracle_report(a.0, &violation);
+        assert!(report.contains("TCB invariant `snd_seq_order` violated on node 0"), "{report}");
+        assert!(report.contains("snd_una=5"), "detail missing: {report}");
+        assert!(report.contains("flight-recorder events"), "{report}");
+        // the dump shows real handshake traffic for that connection
+        assert!(report.contains("flags S"), "recorder tail missing segment events: {report}");
+        assert!(report.contains("syn_sent -> established"), "state transitions missing: {report}");
     }
 }

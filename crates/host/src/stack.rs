@@ -280,6 +280,24 @@ impl HostStack {
         self.engine.stats()
     }
 
+    /// Runs the embedded engine's TCB invariant oracle (full sweep; see
+    /// [`qpip_netstack::invariant`]).
+    ///
+    /// # Errors
+    ///
+    /// The first violation found.
+    pub fn check_invariants(&mut self) -> Result<(), qpip_netstack::invariant::InvariantViolation> {
+        self.engine.check_invariants()
+    }
+
+    /// Takes a violation latched by the engine's per-event debug hook —
+    /// the O(1) probe the DES world polls after every event.
+    pub fn take_invariant_violation(
+        &mut self,
+    ) -> Option<qpip_netstack::invariant::InvariantViolation> {
+        self.engine.take_invariant_violation()
+    }
+
     // ----- socket lifecycle ---------------------------------------------
 
     /// Creates a TCP socket.

@@ -16,6 +16,7 @@ use qpip_trace::{flags as tflags, Snapshot, TraceEvent, Tracer};
 
 use crate::codec::{build_tcp_packet, build_udp_packet, decode_packet, Decoded};
 use crate::hash::FxHashMap;
+use crate::invariant::{self, InvariantViolation, TcbSnapshot};
 use crate::slab::ConnSlab;
 use crate::tcp::tcb::{SegmentOut, Tcb, TcbEvent, TcpState};
 use crate::timer_index::TimerIndex;
@@ -174,6 +175,9 @@ struct ConnEntry {
     tcb: Tcb,
     origin: ConnOrigin,
     established_reported: bool,
+    /// State at the previous invariant check, for the oracle's
+    /// cross-event (monotonicity) invariants.
+    snapshot: Option<TcbSnapshot>,
 }
 
 /// The complete inter-network stack of one simulated node.
@@ -195,6 +199,9 @@ pub struct Engine {
     /// Flight-recorder handle; `None` (the default) costs one branch
     /// per hook site on the datapath.
     tracer: Option<Tracer>,
+    /// First invariant violation seen by the per-event debug hook;
+    /// latched until [`Engine::check_invariants`] surfaces it.
+    poisoned: Option<InvariantViolation>,
 }
 
 impl core::fmt::Debug for Engine {
@@ -223,6 +230,7 @@ impl Engine {
             ops: OpCounters::new(),
             stats: EngineStats::default(),
             tracer: None,
+            poisoned: None,
         }
     }
 
@@ -316,6 +324,106 @@ impl Engine {
         self.conns.values().map(|e| e.tcb.ecn_reductions()).sum()
     }
 
+    /// Peer's advertised send window on a connection, in bytes.
+    pub fn conn_snd_wnd(&self, conn: ConnId) -> Option<u64> {
+        self.conns.get(conn).map(|e| e.tcb.snd_wnd())
+    }
+
+    /// Out-of-order segments dropped on a connection (the subset has no
+    /// reassembly; each drop produced a duplicate ACK).
+    pub fn conn_ooo_drops(&self, conn: ConnId) -> Option<u64> {
+        self.conns.get(conn).map(|e| e.tcb.ooo_drops())
+    }
+
+    // ----- invariant oracle ---------------------------------------------
+
+    /// Runs the TCB invariant oracle over every live connection plus the
+    /// engine's cross-table invariants (demux and timer-index
+    /// consistency).
+    ///
+    /// Debug builds additionally run the per-connection oracle inline
+    /// after every mutating engine call; the first violation found there
+    /// is latched and returned by the next call here, so a caller that
+    /// checks once per world step still learns exactly which event broke
+    /// which invariant.
+    ///
+    /// # Errors
+    ///
+    /// The first [`InvariantViolation`] found, with the connection set.
+    pub fn check_invariants(&mut self) -> Result<(), InvariantViolation> {
+        if let Some(v) = self.poisoned.take() {
+            return Err(v);
+        }
+        if self.demux.len() != self.conns.len() {
+            return Err(InvariantViolation {
+                invariant: "demux_covers_conns",
+                conn: None,
+                detail: format!(
+                    "demux has {} entries but {} connections are live",
+                    self.demux.len(),
+                    self.conns.len()
+                ),
+            });
+        }
+        let ids: Vec<ConnId> = self.conns.iter().map(|(id, _)| id).collect();
+        for id in ids {
+            let entry = self.conns.get(id).expect("iterated id is live");
+            let key = (entry.tcb.local(), entry.tcb.remote());
+            if self.demux.get(&key) != Some(&id) {
+                return Err(InvariantViolation {
+                    invariant: "demux_maps_back",
+                    conn: Some(id),
+                    detail: format!("({} -> {}) does not resolve to this connection", key.0, key.1),
+                });
+            }
+            if self.timers.get(id) != entry.tcb.next_deadline() {
+                return Err(InvariantViolation {
+                    invariant: "timer_index_sync",
+                    conn: Some(id),
+                    detail: format!(
+                        "timer index holds {:?} but the TCB deadline is {:?}",
+                        self.timers.get(id),
+                        entry.tcb.next_deadline()
+                    ),
+                });
+            }
+            self.check_conn(id)?;
+        }
+        Ok(())
+    }
+
+    /// Takes the violation latched by the per-event debug hook, if any —
+    /// the O(1) probe the DES worlds poll after every event.
+    pub fn take_invariant_violation(&mut self) -> Option<InvariantViolation> {
+        self.poisoned.take()
+    }
+
+    /// Audits one connection and refreshes its monotonicity snapshot.
+    fn check_conn(&mut self, conn: ConnId) -> Result<(), InvariantViolation> {
+        let Some(entry) = self.conns.get_mut(conn) else {
+            return Ok(());
+        };
+        let res = invariant::check_tcb(&entry.tcb, entry.snapshot.as_ref());
+        entry.snapshot = Some(TcbSnapshot::of(&entry.tcb));
+        res.map_err(|v| v.for_conn(conn))
+    }
+
+    /// Per-event oracle hook: latch the first violation instead of
+    /// panicking so the surrounding world can report it with flight-
+    /// recorder context. Debug/test builds only — release datapaths pay
+    /// nothing.
+    #[cfg(debug_assertions)]
+    fn debug_check_conn(&mut self, conn: ConnId) {
+        if self.poisoned.is_none() {
+            if let Err(v) = self.check_conn(conn) {
+                self.poisoned = Some(v);
+            }
+        }
+    }
+
+    #[cfg(not(debug_assertions))]
+    fn debug_check_conn(&mut self, _conn: ConnId) {}
+
     // ----- UDP ---------------------------------------------------------
 
     /// Binds a UDP port.
@@ -389,6 +497,7 @@ impl Engine {
         let id = self.insert_conn(now, tcb, ConnOrigin::Active);
         let mut emits = Vec::with_capacity(segs.len());
         self.encode_segments_into(now, id, &segs, &mut emits);
+        self.debug_check_conn(id);
         (id, emits)
     }
 
@@ -421,6 +530,7 @@ impl Engine {
         self.sync_timer(now, conn);
         let mut emits = Vec::with_capacity(segs.len());
         self.encode_segments_into(now, conn, &segs, &mut emits);
+        self.debug_check_conn(conn);
         Ok(emits)
     }
 
@@ -439,6 +549,7 @@ impl Engine {
         }
         let mut emits = Vec::with_capacity(segs.len());
         self.encode_segments_into(now, conn, &segs, &mut emits);
+        self.debug_check_conn(conn);
         Ok(emits)
     }
 
@@ -490,6 +601,7 @@ impl Engine {
         }
         let mut emits = Vec::with_capacity(upd.is_some() as usize);
         self.encode_segments_into(now, conn, upd.as_slice(), &mut emits);
+        self.debug_check_conn(conn);
         Ok(emits)
     }
 
@@ -569,6 +681,7 @@ impl Engine {
                     self.trace_seg_rx(now, id, tcp, payload.len());
                     let mut emits = Vec::with_capacity(segs.len());
                     self.encode_segments_into(now, id, &segs, &mut emits);
+                    self.debug_check_conn(id);
                     return emits;
                 }
                 self.stats.demux_drops += 1;
@@ -588,6 +701,7 @@ impl Engine {
         let mut emits = Vec::with_capacity(events.len() + segs.len());
         self.translate_events_into(conn, events, &mut emits);
         self.encode_segments_into(now, conn, &segs, &mut emits);
+        self.debug_check_conn(conn);
         self.reap_if_closed(conn);
         emits
     }
@@ -625,6 +739,7 @@ impl Engine {
             }
             self.translate_events_into(conn, events, &mut emits);
             self.encode_segments_into(now, conn, &segs, &mut emits);
+            self.debug_check_conn(conn);
             self.reap_if_closed(conn);
         }
         emits
@@ -642,7 +757,12 @@ impl Engine {
     fn insert_conn(&mut self, now: SimTime, tcb: Tcb, origin: ConnOrigin) -> ConnId {
         let key = (tcb.local(), tcb.remote());
         let state = tcb.state();
-        let id = self.conns.insert(ConnEntry { tcb, origin, established_reported: false });
+        let id = self.conns.insert(ConnEntry {
+            tcb,
+            origin,
+            established_reported: false,
+            snapshot: None,
+        });
         self.demux.insert(key, id);
         if let Some(tr) = &self.tracer {
             tr.emit(

@@ -58,6 +58,7 @@ pub mod codec;
 pub mod engine;
 pub mod frag;
 pub mod hash;
+pub mod invariant;
 mod slab;
 pub mod tcp;
 mod timer_index;

@@ -88,7 +88,6 @@ impl<T> ConnSlab<T> {
     }
 
     /// Live entries in slot order (deterministic, unlike a hash map).
-    #[cfg(test)]
     pub fn iter(&self) -> impl Iterator<Item = (ConnId, &T)> {
         self.slots.iter().enumerate().filter_map(|(i, s)| {
             s.val.as_ref().map(|v| (ConnId::from_parts(i as u32, s.generation), v))

@@ -384,6 +384,84 @@ impl Tcb {
         .then(|| self.make_ack(now, PacketKind::TcpAck))
     }
 
+    // ----- oracle accessors (crate::invariant / qpip-conform) --------
+
+    /// Next sequence number to send (SND.NXT).
+    pub fn snd_nxt(&self) -> SeqNum {
+        self.sendbuf.nxt()
+    }
+
+    /// One past the last byte buffered for sending.
+    pub fn snd_buffered_end(&self) -> SeqNum {
+        self.sendbuf.end()
+    }
+
+    /// Next expected receive sequence number (RCV.NXT).
+    pub fn rcv_nxt(&self) -> SeqNum {
+        self.rcv_nxt
+    }
+
+    /// Initial send sequence number.
+    pub fn iss(&self) -> SeqNum {
+        self.iss
+    }
+
+    /// Whether our FIN has been handed to the wire.
+    pub fn fin_sent(&self) -> bool {
+        self.fin_sent
+    }
+
+    /// Our FIN's sequence number, once sent.
+    pub fn fin_seq(&self) -> Option<SeqNum> {
+        self.fin_sent.then_some(self.fin_seq)
+    }
+
+    /// Whether the peer's FIN has been consumed in order.
+    pub fn peer_fin_rcvd(&self) -> bool {
+        self.peer_fin_rcvd
+    }
+
+    /// Whether the retransmission timer is armed.
+    pub fn rto_armed(&self) -> bool {
+        self.rto_deadline.is_some()
+    }
+
+    /// Whether the TIME-WAIT reaping timer is armed.
+    pub fn timewait_armed(&self) -> bool {
+        self.timewait_deadline.is_some()
+    }
+
+    /// Whether anything needs the retransmission timer: unacked data,
+    /// an unacked FIN, or an unanswered SYN/SYN-ACK.
+    pub fn has_outstanding(&self) -> bool {
+        self.outstanding(SimTime::ZERO)
+    }
+
+    /// Window-scale shift applied to windows we advertise.
+    pub fn rcv_wscale(&self) -> u8 {
+        self.rcv_wscale
+    }
+
+    /// Window-scale shift the peer asked us to apply to its windows.
+    pub fn snd_wscale(&self) -> u8 {
+        self.snd_wscale
+    }
+
+    /// Whether RFC 1323 timestamps were negotiated.
+    pub fn ts_negotiated(&self) -> bool {
+        self.ts_on
+    }
+
+    /// Whether fast recovery is in progress.
+    pub fn in_recovery(&self) -> bool {
+        self.congestion.in_recovery()
+    }
+
+    /// Receive-buffer space backing the advertised window.
+    pub fn rcv_space(&self) -> u64 {
+        self.rcv_space
+    }
+
     /// Whether the application may still queue data (not closed and no
     /// FIN queued).
     pub fn can_send(&self) -> bool {

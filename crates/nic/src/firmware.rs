@@ -269,6 +269,24 @@ impl QpipNic {
         self.engine.stats()
     }
 
+    /// Runs the embedded engine's TCB invariant oracle (full sweep; see
+    /// [`qpip_netstack::invariant`]).
+    ///
+    /// # Errors
+    ///
+    /// The first violation found.
+    pub fn check_invariants(&mut self) -> Result<(), qpip_netstack::invariant::InvariantViolation> {
+        self.engine.check_invariants()
+    }
+
+    /// Takes a violation latched by the engine's per-event debug hook —
+    /// the O(1) probe the DES world polls after every event.
+    pub fn take_invariant_violation(
+        &mut self,
+    ) -> Option<qpip_netstack::invariant::InvariantViolation> {
+        self.engine.take_invariant_violation()
+    }
+
     /// TCP retransmissions performed by the offloaded stack.
     pub fn retransmissions(&self) -> u64 {
         self.engine.retransmissions()

@@ -281,6 +281,16 @@ impl XportNode {
         &self.engine
     }
 
+    /// Runs the embedded engine's TCB invariant oracle (full sweep; see
+    /// [`qpip_netstack::invariant`]).
+    ///
+    /// # Errors
+    ///
+    /// The first violation found.
+    pub fn check_invariants(&mut self) -> Result<(), qpip_netstack::invariant::InvariantViolation> {
+        self.engine.check_invariants()
+    }
+
     // ----- verbs ----------------------------------------------------------
 
     /// Creates a completion queue.
@@ -666,6 +676,13 @@ impl XportNode {
     /// produce further emissions — e.g. an accepted connection with no
     /// idle QP emits an abort RST).
     fn dispatch(&mut self, emits: Vec<Emit>) -> Result<(), XportError> {
+        // debug-build oracle gate: every engine interaction funnels
+        // through here, so a latched TCB invariant violation surfaces
+        // on the very next dispatch
+        #[cfg(debug_assertions)]
+        if let Some(v) = self.engine.take_invariant_violation() {
+            panic!("TCB invariant `{}` violated in live transport: {}", v.invariant, v.detail);
+        }
         let mut queue: VecDeque<Emit> = emits.into();
         while let Some(e) = queue.pop_front() {
             match e {
