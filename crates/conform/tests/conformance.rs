@@ -388,3 +388,46 @@ fn advance_between_steps_keeps_connection_stable() {
     h.expect(Expect::pure_ack().ack_no(106));
     assert_eq!(delivered(&h.take_events()), b"later");
 }
+
+// ----- regressions for bugs the suite and fuzzer exposed ------------
+//
+// Each test below reproduces a state-machine bug that this harness (or
+// the seeded fuzz loop driving the TCB invariant oracle) found in the
+// engine, and pins the fixed behaviour.
+
+#[test]
+fn blind_rst_in_window_gets_challenge_ack() {
+    // RFC 5961 §3.2: an in-window RST whose sequence number is not
+    // exactly RCV.NXT draws a challenge ACK instead of killing the
+    // connection (the engine used to accept any RST blindly).
+    let mut h = Harness::server(cfg(), PORT);
+    h.handshake(100);
+    h.inject(seg().rst().seq(150));
+    h.expect(Expect::pure_ack().ack_no(101));
+    assert_eq!(h.state(), Some(TcpState::Established));
+}
+
+#[test]
+fn out_of_window_rst_is_dropped_silently() {
+    let mut h = Harness::server(cfg(), PORT);
+    h.handshake(100);
+    h.inject(seg().rst().seq(101u32.wrapping_add(0x4000_0000)));
+    h.expect_quiet();
+    assert_eq!(h.state(), Some(TcpState::Established));
+}
+
+#[test]
+fn rst_in_syn_sent_requires_ack_of_our_syn() {
+    let mut h = Harness::client(cfg(), PORT);
+    let syn = h.expect(Expect::any());
+    let iss = syn.hdr.seq.0;
+    // a bare RST (no ACK) cannot abort a half-open connection
+    h.inject(seg().rst().seq(0));
+    h.expect_quiet();
+    assert_eq!(h.state(), Some(TcpState::SynSent));
+    // a RST acknowledging our SYN is a legitimate connection refusal
+    h.inject(seg().rst().seq(0).ack(iss.wrapping_add(1)));
+    h.expect_quiet();
+    assert!(h.take_events().iter().any(|e| matches!(e, Emit::TcpReset { .. })));
+    assert_eq!(h.engine().conn_count(), 0);
+}

@@ -581,11 +581,7 @@ impl Tcb {
         ops.headers_parsed += 1;
 
         if hdr.flags.rst {
-            if self.state != TcpState::Closed {
-                self.state = TcpState::Closed;
-                self.clear_timers();
-                events.push(TcbEvent::Reset);
-            }
+            self.on_rst(hdr, now, &mut out, &mut events);
             return (out, events);
         }
 
@@ -599,6 +595,40 @@ impl Tcb {
             }
         }
         (out, events)
+    }
+
+    /// RST acceptance (RFC 793 §3.4 tightened per RFC 5961 §3.2): a
+    /// reset only kills the connection when its sequence number is
+    /// exactly `RCV.NXT` (in SYN-SENT: when it acks our SYN). An
+    /// in-window but inexact RST draws a challenge ACK so a legitimate
+    /// peer can resend with the right number, while a blind attacker's
+    /// guess does nothing. Everything else is dropped silently.
+    fn on_rst(
+        &mut self,
+        hdr: &TcpHeader,
+        now: SimTime,
+        out: &mut Vec<SegmentOut>,
+        events: &mut Vec<TcbEvent>,
+    ) {
+        match self.state {
+            TcpState::Closed => {}
+            TcpState::SynSent => {
+                if hdr.flags.ack && hdr.ack == self.iss + 1 {
+                    self.state = TcpState::Closed;
+                    self.clear_timers();
+                    events.push(TcbEvent::Reset);
+                }
+            }
+            _ => {
+                if hdr.seq == self.rcv_nxt {
+                    self.state = TcpState::Closed;
+                    self.clear_timers();
+                    events.push(TcbEvent::Reset);
+                } else if u64::from(hdr.seq - self.rcv_nxt) < self.rcv_space.max(1) {
+                    out.push(self.make_ack(now, PacketKind::TcpAck));
+                }
+            }
+        }
     }
 
     fn on_segment_syn_sent(
