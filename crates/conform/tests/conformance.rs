@@ -431,3 +431,15 @@ fn rst_in_syn_sent_requires_ack_of_our_syn() {
     assert!(h.take_events().iter().any(|e| matches!(e, Emit::TcpReset { .. })));
     assert_eq!(h.engine().conn_count(), 0);
 }
+
+#[test]
+fn ack_beyond_snd_max_is_acked_and_dropped() {
+    // RFC 793: an ACK for data never sent draws an ACK and the segment
+    // is discarded wholesale — its payload must not be delivered.
+    let mut h = Harness::server(cfg(), PORT);
+    let iss = h.handshake(100);
+    h.inject(seg().seq(101).ack(iss.wrapping_add(50_000)).payload(b"evil"));
+    h.expect(Expect::pure_ack().ack_no(101));
+    assert!(delivered(&h.take_events()).is_empty());
+    assert_eq!(h.state(), Some(TcpState::Established));
+}

@@ -48,12 +48,27 @@ pub struct SendBuffer {
     una: SeqNum,
     /// Next byte to transmit for the first time.
     nxt: SeqNum,
+    /// Highest sequence number ever transmitted. Unlike `nxt` this never
+    /// rewinds on go-back-N, so it is the SND.MAX bound for judging
+    /// whether an incoming ACK covers data we actually sent.
+    max_sent: SeqNum,
 }
 
 impl SendBuffer {
     /// Creates an empty buffer whose first byte will carry `initial_seq`.
     pub fn new(policy: SegmentationPolicy, initial_seq: SeqNum) -> Self {
-        SendBuffer { chunks: VecDeque::new(), policy, una: initial_seq, nxt: initial_seq }
+        SendBuffer {
+            chunks: VecDeque::new(),
+            policy,
+            una: initial_seq,
+            nxt: initial_seq,
+            max_sent: initial_seq,
+        }
+    }
+
+    /// Highest sequence number ever handed to the output path (SND.MAX).
+    pub fn max_sent(&self) -> SeqNum {
+        self.max_sent
     }
 
     /// First unacknowledged sequence number.
@@ -133,6 +148,9 @@ impl SendBuffer {
             }
         };
         self.nxt = seq + bytes.len() as u32;
+        if self.max_sent.lt(self.nxt) {
+            self.max_sent = self.nxt;
+        }
         let psh = self.nxt == self.end();
         Some(SegmentData { seq, bytes, psh })
     }
@@ -372,5 +390,16 @@ mod tests {
     #[should_panic(expected = "zero-length")]
     fn empty_push_panics() {
         msg_buf().push(Vec::new(), SendToken(0));
+    }
+
+    #[test]
+    fn max_sent_survives_rewind() {
+        let mut b = stream_buf();
+        b.push(vec![5; 200], SendToken(1));
+        b.next_segment(200, u64::MAX);
+        assert_eq!(b.max_sent(), seq(1200));
+        b.rewind_to_una();
+        assert_eq!(b.nxt(), seq(1000));
+        assert_eq!(b.max_sent(), seq(1200), "SND.MAX never rewinds");
     }
 }

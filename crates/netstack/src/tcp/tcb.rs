@@ -709,7 +709,9 @@ impl Tcb {
 
         // -- ACK processing
         if hdr.flags.ack {
-            self.process_ack(cfg, hdr, payload.is_empty(), now, out, events, ops);
+            if !self.process_ack(cfg, hdr, payload.is_empty(), now, out, events, ops) {
+                return; // unacceptable ACK: segment dropped wholesale
+            }
             if self.state == TcpState::Closed {
                 return;
             }
@@ -735,6 +737,9 @@ impl Tcb {
         out.extend(self.try_output(cfg, now, ops));
     }
 
+    /// Returns `false` when the ACK acknowledges data we never sent
+    /// (RFC 793: "send an ACK, drop the segment, and return") — the
+    /// caller must discard the rest of the segment too.
     #[allow(clippy::too_many_arguments)]
     fn process_ack(
         &mut self,
@@ -745,7 +750,13 @@ impl Tcb {
         out: &mut Vec<SegmentOut>,
         events: &mut Vec<TcbEvent>,
         ops: &mut OpCounters,
-    ) {
+    ) -> bool {
+        let snd_max = if self.fin_sent { self.fin_seq + 1 } else { self.sendbuf.max_sent() };
+        if snd_max.lt(hdr.ack) {
+            out.push(self.make_ack(now, PacketKind::TcpAck));
+            return false;
+        }
+
         let una_before = self.sendbuf.una();
         let fin_outstanding = self.fin_sent && !self.fin_acked(una_before);
         let advances = una_before.lt(hdr.ack)
@@ -765,7 +776,7 @@ impl Tcb {
             self.rto_deadline = None;
             events.push(TcbEvent::Established);
             self.update_snd_wnd(hdr);
-            return;
+            return true;
         }
 
         if advances {
@@ -818,7 +829,7 @@ impl Tcb {
                         self.state = TcpState::Closed;
                         self.clear_timers();
                         events.push(TcbEvent::Closed);
-                        return;
+                        return true;
                     }
                     _ => {}
                 }
@@ -846,6 +857,7 @@ impl Tcb {
         }
 
         self.update_snd_wnd(hdr);
+        true
     }
 
     #[allow(clippy::too_many_arguments)]
