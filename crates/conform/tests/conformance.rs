@@ -443,3 +443,22 @@ fn ack_beyond_snd_max_is_acked_and_dropped() {
     assert!(delivered(&h.take_events()).is_empty());
     assert_eq!(h.state(), Some(TcpState::Established));
 }
+
+#[test]
+fn syn_ack_options_mirror_the_syn() {
+    // A SYN without window scale / timestamps must not be answered with
+    // them (the engine used to advertise its own config unconditionally,
+    // leaving the two sides disagreeing about header layout).
+    let mut h = Harness::server(cfg(), PORT);
+    h.inject(seg().syn().seq(100).win(65535).mss(1460));
+    let sa = h.expect(Expect::synack().ack_no(101).mss_present(true));
+    assert!(sa.hdr.options.window_scale.is_none(), "no ws offer, no ws echo");
+    assert!(sa.hdr.options.timestamps.is_none(), "no ts offer, no ts echo");
+
+    // ...while a fully-optioned SYN still gets both echoed
+    let mut h2 = Harness::server(cfg(), PORT);
+    h2.inject(seg().syn().seq(100).win(65535).mss(1460).wscale(7).ts(1, 0));
+    let sa2 = h2.expect(Expect::synack().ack_no(101));
+    assert!(sa2.hdr.options.window_scale.is_some());
+    assert!(sa2.hdr.options.timestamps.is_some());
+}

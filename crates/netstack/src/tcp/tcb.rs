@@ -132,6 +132,9 @@ pub struct Tcb {
     rcv_space: u64,
     /// Shift we apply to the window field we advertise.
     rcv_wscale: u8,
+    /// Window scaling negotiated on the SYN exchange (both sides
+    /// offered it); gates the option on our SYN-ACK.
+    ws_negotiated: bool,
     /// Peer FIN consumed (sequence-wise).
     peer_fin_rcvd: bool,
 
@@ -231,6 +234,7 @@ impl Tcb {
             rcv_nxt: SeqNum(0),
             rcv_space,
             rcv_wscale,
+            ws_negotiated: false,
             peer_fin_rcvd: false,
             ecn_on: false,
             ece_pending: false,
@@ -1084,10 +1088,16 @@ impl Tcb {
         is_syn_ack: bool,
         is_retransmit: bool,
     ) -> SegmentOut {
+        // A SYN offers what the config allows; a SYN-ACK may only echo
+        // what the peer's SYN actually negotiated (RFC 1323/7323 — the
+        // responder must not send window-scale or timestamps unless the
+        // initiator did).
         let options = TcpOptions {
             mss: Some(cfg.max_tcp_payload().min(usize::from(u16::MAX)) as u16),
-            window_scale: cfg.window_scale.then_some(self.rcv_wscale),
-            timestamps: cfg.timestamps.then(|| (ts_now(now), self.ts_recent)),
+            window_scale: (cfg.window_scale && (!is_syn_ack || self.ws_negotiated))
+                .then_some(self.rcv_wscale),
+            timestamps: (cfg.timestamps && (!is_syn_ack || self.ts_on))
+                .then(|| (ts_now(now), self.ts_recent)),
         };
         let mut flags = if is_syn_ack { TcpFlags::SYN_ACK } else { TcpFlags::SYN };
         if is_syn_ack {
@@ -1184,6 +1194,7 @@ impl Tcb {
         if let Some(mss) = syn.options.mss {
             self.peer_mss = usize::from(mss);
         }
+        self.ws_negotiated = cfg.window_scale && syn.options.window_scale.is_some();
         self.snd_wscale = match (cfg.window_scale, syn.options.window_scale) {
             (true, Some(ws)) => ws.min(14),
             _ => {
