@@ -286,6 +286,22 @@ fn active_close_fin_wait_sequence_to_time_wait() {
 }
 
 #[test]
+fn simultaneous_close_goes_through_closing() {
+    let mut h = Harness::server(cfg(), PORT);
+    let iss = h.handshake(100);
+    h.close();
+    h.expect(Expect::fin_seg().seq(iss + 1));
+    // peer's FIN crosses ours: it does not ack our FIN
+    h.inject(seg().fin().seq(101).ack(iss + 1));
+    h.expect(Expect::pure_ack().ack_no(102));
+    assert_eq!(h.state(), Some(TcpState::Closing));
+    h.inject(seg().seq(102).ack(iss + 2));
+    assert_eq!(h.state(), Some(TcpState::TimeWait));
+    h.fire_timer();
+    assert_eq!(h.state(), None);
+}
+
+#[test]
 fn fin_plus_ack_combined_goes_straight_to_time_wait() {
     let mut h = Harness::server(cfg(), PORT);
     let iss = h.handshake(100);
@@ -461,4 +477,41 @@ fn syn_ack_options_mirror_the_syn() {
     let sa2 = h2.expect(Expect::synack().ack_no(101));
     assert!(sa2.hdr.options.window_scale.is_some());
     assert!(sa2.hdr.options.timestamps.is_some());
+}
+
+#[test]
+fn acked_fin_is_not_retransmitted() {
+    // The FIN's sequence slot lies one past the send buffer, so its
+    // acknowledgment never advanced `una` — the engine kept the FIN
+    // "outstanding" forever, re-arming the retransmission timer in
+    // FIN-WAIT-2 and TIME-WAIT. Found by the fuzz loop (oracle
+    // invariant `timewait_timer`).
+    let mut h = Harness::server(cfg(), PORT);
+    let iss = h.handshake(100);
+    h.close();
+    let fin = h.expect(Expect::fin_seg());
+    assert_eq!(fin.hdr.seq.0, iss.wrapping_add(1));
+    h.inject(seg().seq(101).ack(iss.wrapping_add(2)));
+    h.expect_quiet();
+    assert_eq!(h.state(), Some(TcpState::FinWait2));
+    assert!(h.next_deadline().is_none(), "no timer once the FIN is acked");
+}
+
+#[test]
+fn data_and_fin_acked_together_complete_the_send() {
+    // Second half of the same bug: one ACK covering data + FIN points
+    // one past the buffered bytes, and the send buffer used to reject
+    // it — leaving the data unacknowledged forever.
+    let mut h = Harness::server(cfg(), PORT);
+    let iss = h.handshake(100);
+    h.send(b"01234567");
+    h.expect(Expect::data(b"01234567"));
+    h.close();
+    let fin = h.expect(Expect::fin_seg());
+    assert_eq!(fin.hdr.seq.0, iss.wrapping_add(9));
+    h.inject(seg().seq(101).ack(iss.wrapping_add(10)));
+    h.expect_quiet();
+    assert_eq!(count_send_complete(&h.take_events()), 1);
+    assert_eq!(h.state(), Some(TcpState::FinWait2));
+    assert!(h.next_deadline().is_none());
 }

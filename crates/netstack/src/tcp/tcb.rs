@@ -119,6 +119,10 @@ pub struct Tcb {
     fin_sent: bool,
     /// Our FIN's sequence number, once sent.
     fin_seq: SeqNum,
+    /// The peer acknowledged our FIN. Latched here because `sendbuf`'s
+    /// `una` only covers buffered data and can never advance over the
+    /// FIN's sequence slot.
+    fin_is_acked: bool,
     retries: u32,
     /// Untimed-segment RTT sampling (when timestamps are off).
     timed_seq: Option<(SeqNum, SimTime)>,
@@ -228,6 +232,7 @@ impl Tcb {
             fin_queued: false,
             fin_sent: false,
             fin_seq: SeqNum(0),
+            fin_is_acked: false,
             retries: 0,
             timed_seq: None,
             irs: SeqNum(0),
@@ -808,7 +813,11 @@ impl Tcb {
             }
 
             let acked_bytes = u64::from(hdr.ack - una_before);
-            for token in self.sendbuf.on_ack(hdr.ack) {
+            // An ACK covering our FIN points one past the last data byte;
+            // clamp it so the send buffer still marks all data acked.
+            let data_ack =
+                if self.fin_sent && hdr.ack == self.fin_seq + 1 { self.fin_seq } else { hdr.ack };
+            for token in self.sendbuf.on_ack(data_ack) {
                 events.push(TcbEvent::SendComplete(token));
             }
             self.congestion.on_ack(acked_bytes, ops);
@@ -816,6 +825,7 @@ impl Tcb {
 
             // FIN acknowledged?
             if self.fin_sent && hdr.ack == self.fin_seq + 1 {
+                self.fin_is_acked = true;
                 match self.state {
                     TcpState::FinWait1 => {
                         self.state = if self.peer_fin_rcvd {
@@ -1249,7 +1259,10 @@ impl Tcb {
     }
 
     fn fin_acked(&self, una: SeqNum) -> bool {
-        self.fin_sent && self.fin_seq.lt(una)
+        // The latch is authoritative; the una comparison can never fire
+        // (una stops at the last data byte) but keeps the definition
+        // aligned with RFC 793's SND.UNA reading.
+        self.fin_is_acked || (self.fin_sent && self.fin_seq.lt(una))
     }
 
     fn fin_sent_and_counted(&self) -> bool {
