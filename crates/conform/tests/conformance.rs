@@ -515,3 +515,19 @@ fn data_and_fin_acked_together_complete_the_send() {
     assert_eq!(h.state(), Some(TcpState::FinWait2));
     assert!(h.next_deadline().is_none());
 }
+
+#[test]
+fn mid_message_ack_does_not_split_message_framing() {
+    // Message-per-segment mode: a forged ACK landing inside a message
+    // used to drag una/nxt off the chunk boundary and trip the
+    // whole-chunk assertion on the next retransmission.
+    let mut h = Harness::server(cfg(), PORT);
+    let iss = h.handshake(100);
+    h.send(&[0xAB; 100]);
+    h.expect(Expect::data(&[0xAB; 100]));
+    h.inject(seg().seq(101).ack(iss.wrapping_add(51)));
+    assert_eq!(count_send_complete(&h.take_events()), 0, "partial message is not complete");
+    h.fire_timer();
+    let rtx = h.expect(Expect::data(&[0xAB; 100]));
+    assert_eq!(rtx.hdr.seq.0, iss.wrapping_add(1), "whole message retransmitted");
+}

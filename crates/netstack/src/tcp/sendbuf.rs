@@ -187,6 +187,28 @@ impl SendBuffer {
         if !(self.una.lt(ack) && ack.le(self.end())) {
             return Vec::new();
         }
+        // In message mode our segments are whole messages, so a
+        // well-behaved peer only ever acks on message boundaries. A
+        // forged ACK landing mid-message must not drag `una`/`nxt` off a
+        // chunk boundary (retransmission resends whole messages); round
+        // it down to the last boundary it covers.
+        let ack = match self.policy {
+            SegmentationPolicy::Stream => ack,
+            SegmentationPolicy::MessagePerSegment => {
+                let mut boundary = self.una;
+                for c in &self.chunks {
+                    if c.end().le(ack) {
+                        boundary = c.end();
+                    } else {
+                        break;
+                    }
+                }
+                boundary
+            }
+        };
+        if !self.una.lt(ack) {
+            return Vec::new();
+        }
         self.una = ack;
         if self.nxt.lt(ack) {
             self.nxt = ack;
@@ -401,5 +423,26 @@ mod tests {
         b.rewind_to_una();
         assert_eq!(b.nxt(), seq(1000));
         assert_eq!(b.max_sent(), seq(1200), "SND.MAX never rewinds");
+    }
+
+    #[test]
+    fn message_mode_partial_ack_rounds_down_to_message_boundary() {
+        let mut b = msg_buf();
+        b.push(vec![0; 100], SendToken(1));
+        b.push(vec![0; 100], SendToken(2));
+        b.next_segment(16_384, u64::MAX);
+        b.next_segment(16_384, u64::MAX);
+        // a forged ack into the middle of the second message only
+        // acknowledges the first (whole) one
+        assert_eq!(b.on_ack(seq(1150)), vec![SendToken(1)]);
+        assert_eq!(b.una(), seq(1100));
+        assert_eq!(b.nxt(), seq(1200));
+        // a mid-first-message ack acknowledges nothing at all
+        let mut c = msg_buf();
+        c.push(vec![0; 100], SendToken(3));
+        c.next_segment(16_384, u64::MAX);
+        assert!(c.on_ack(seq(1050)).is_empty());
+        assert_eq!(c.una(), seq(1000));
+        assert_eq!(c.nxt(), seq(1100));
     }
 }
