@@ -455,6 +455,13 @@ mod tests {
     }
 
     #[test]
+    fn smoke_short_fixed_seed_run_is_clean() {
+        // The full 10k-iteration smoke runs in scripts/check.sh; keep
+        // the in-tree test short.
+        assert!(run(0xfeed_beef, 200).is_ok());
+    }
+
+    #[test]
     fn seeded_case_replays_identically() {
         let steps = generate(42);
         assert!(replay(&steps).is_ok());

@@ -531,3 +531,31 @@ fn mid_message_ack_does_not_split_message_framing() {
     let rtx = h.expect(Expect::data(&[0xAB; 100]));
     assert_eq!(rtx.hdr.seq.0, iss.wrapping_add(1), "whole message retransmitted");
 }
+
+#[test]
+fn fin_with_unacceptable_ack_in_syn_rcvd_is_ignored() {
+    // A FIN riding an ACK that does not acknowledge our SYN used to be
+    // consumed in SYN-RCVD (advancing RCV.NXT with no state to go to).
+    // Found by the fuzz loop (oracle invariant `peer_fin_state`).
+    let mut h = Harness::server(cfg(), PORT);
+    h.inject(seg().syn().seq(100).win(65535).mss(1460));
+    let sa = h.expect(Expect::synack());
+    let iss = sa.hdr.seq.0;
+    h.inject(seg().fin().seq(101).ack(iss));
+    h.expect_quiet();
+    assert_eq!(h.state(), Some(TcpState::SynRcvd));
+    // the handshake still completes at the unchanged RCV.NXT
+    h.inject(seg().seq(101).ack(iss.wrapping_add(1)));
+    h.expect_quiet();
+    assert_eq!(h.state(), Some(TcpState::Established));
+}
+
+#[test]
+fn syn_with_rst_does_not_spawn_a_connection() {
+    let mut h = Harness::server(cfg(), PORT);
+    let before = h.stats().demux_drops;
+    h.inject(seg().syn().rst().seq(100).win(65535).mss(1460));
+    h.expect_quiet();
+    assert_eq!(h.engine().conn_count(), 0);
+    assert_eq!(h.stats().demux_drops, before + 1);
+}

@@ -670,7 +670,11 @@ impl Engine {
             Some(&c) => c,
             None => {
                 // no connection: a SYN to a listening port spawns one
-                if tcp.flags.syn && !tcp.flags.ack && self.listeners.contains_key(&tcp.dst_port) {
+                if tcp.flags.syn
+                    && !tcp.flags.ack
+                    && !tcp.flags.rst
+                    && self.listeners.contains_key(&tcp.dst_port)
+                {
                     let iss = self.next_iss();
                     let (tcb, segs) = Tcb::accept(&self.cfg, local, remote, tcp, iss, now);
                     let id = self.insert_conn(

@@ -731,8 +731,16 @@ impl Tcb {
             self.process_payload(cfg, hdr, payload, now, out, events, ops);
         }
 
-        // -- FIN processing (only when it arrives in order)
-        if hdr.flags.fin && hdr.seq + payload.len() as u32 == self.rcv_nxt && !self.peer_fin_rcvd {
+        // -- FIN processing (only when it arrives in order, and only in
+        // a state that accepts data: a FIN riding an unacceptable ACK in
+        // SYN-RCVD must not advance `rcv_nxt` while the handshake is
+        // still incomplete — RFC 793 would have reset such a segment
+        // before FIN processing; the subset drops it instead)
+        if hdr.flags.fin
+            && matches!(self.state, TcpState::Established | TcpState::FinWait1 | TcpState::FinWait2)
+            && hdr.seq + payload.len() as u32 == self.rcv_nxt
+            && !self.peer_fin_rcvd
+        {
             self.rcv_nxt += 1;
             self.peer_fin_rcvd = true;
             events.push(TcbEvent::PeerClosed);
