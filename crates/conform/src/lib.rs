@@ -10,11 +10,15 @@
 //!   mutated/truncated/reordered segments at the engine and checks the
 //!   TCB invariant oracle after every event, with drop-one-step
 //!   minimization of failing cases.
+//! - [`differential`] — runs the same application workload through the
+//!   DES world and the live-socket transport and diffs the normalized
+//!   per-connection flight-recorder event streams.
 //!
 //! The TCB invariant oracle itself lives in
 //! [`qpip_netstack::invariant`] so the engine can self-check in every
 //! debug build; this crate is the harness that drives it hard.
 
+pub mod differential;
 pub mod fuzz;
 pub mod harness;
 

@@ -309,4 +309,92 @@ mod tests {
             }
         }
     }
+
+    /// Hand-builds a fragment packet with arbitrary offset/length — the
+    /// raw material for overlap and resource-exhaustion attacks that
+    /// `fragment_packet` itself can never produce.
+    fn raw_fragment(id: u32, offset: u32, data_len: usize, more: bool) -> Vec<u8> {
+        let frag = FragmentHeader { next_header: 17, offset, more, id };
+        let hdr = Ipv6Header {
+            next_header: NextHeader::Other(FRAGMENT_NEXT_HEADER),
+            payload_len: (FRAGMENT_HEADER_LEN + data_len) as u16,
+            ..Ipv6Header::parse(&big_packet(16)).unwrap().0
+        };
+        let mut pkt = Vec::with_capacity(IPV6_HEADER_LEN + FRAGMENT_HEADER_LEN + data_len);
+        hdr.encode(&mut pkt);
+        frag.encode(&mut pkt);
+        pkt.extend(std::iter::repeat_n(0xcc, data_len));
+        pkt
+    }
+
+    #[test]
+    fn overlapping_fragment_blocks_completion_without_corruption() {
+        let pkt = big_packet(4000);
+        let frags = fragment_packet(&pkt, 1500, 11);
+        let mut r = Reassembler::new();
+        assert!(r.push(&frags[0]).is_none());
+        // attacker injects a fragment overlapping the first chunk's range
+        assert!(r.push(&raw_fragment(11, 8, 64, true)).is_none());
+        // the genuine remainder can no longer contiguously cover the
+        // payload: the packet must never complete (and never emerge
+        // with the overlap spliced in)
+        for f in &frags[1..] {
+            assert!(r.push(f).is_none(), "overlapped packet must not complete");
+        }
+        assert_eq!(r.completed(), 0);
+        assert_eq!(r.pending(), 1, "held until eviction, not delivered");
+    }
+
+    #[test]
+    fn oversize_reassembly_is_evicted_at_byte_limit() {
+        let mut r = Reassembler::new();
+        let per = 60_000usize;
+        let needed = Reassembler::MAX_BYTES / per + 1;
+        for i in 0..=needed {
+            let evicted_before = r.evicted();
+            assert!(r.push(&raw_fragment(99, (i as u32) * 8, per, true)).is_none());
+            if r.evicted() > evicted_before {
+                assert_eq!(r.pending(), 0, "oversize partial dropped outright");
+                return;
+            }
+        }
+        panic!("byte limit never triggered after {} fragments of {per} bytes", needed + 1);
+    }
+
+    #[test]
+    fn exact_mtu_passes_one_over_fragments() {
+        let mtu = 1500;
+        // build_udp_packet: 40-byte IPv6 + 8-byte UDP around the payload
+        let at = big_packet(mtu - IPV6_HEADER_LEN - 8);
+        assert_eq!(at.len(), mtu);
+        assert_eq!(fragment_packet(&at, mtu, 1).len(), 1, "exactly MTU rides whole");
+        let over = big_packet(mtu - IPV6_HEADER_LEN - 8 + 1);
+        let frags = fragment_packet(&over, mtu, 2);
+        assert_eq!(frags.len(), 2, "one byte over splits");
+        let mut r = Reassembler::new();
+        assert!(r.push(&frags[0]).is_none());
+        assert_eq!(r.push(&frags[1]).expect("complete"), over);
+    }
+
+    #[test]
+    fn smallest_legal_mtu_still_fragments() {
+        // 40 + 8 + 8 = just room for one 8-byte unit per fragment
+        let pkt = big_packet(64);
+        let mtu = IPV6_HEADER_LEN + FRAGMENT_HEADER_LEN + 8;
+        let frags = fragment_packet(&pkt, mtu, 4);
+        assert!(frags.iter().all(|f| f.len() <= mtu));
+        let mut r = Reassembler::new();
+        let mut done = None;
+        for f in &frags {
+            done = done.or(r.push(f));
+        }
+        assert_eq!(done.expect("complete"), pkt);
+    }
+
+    #[test]
+    #[should_panic(expected = "no room")]
+    fn mtu_below_fragment_floor_panics() {
+        let pkt = big_packet(200);
+        fragment_packet(&pkt, IPV6_HEADER_LEN + FRAGMENT_HEADER_LEN + 7, 1);
+    }
 }

@@ -127,4 +127,40 @@ mod tests {
         let (back, _) = FragmentHeader::parse(&buf).unwrap();
         assert_eq!(back, h);
     }
+
+    #[test]
+    fn reserved_flag_bits_ignored_on_parse() {
+        let h = FragmentHeader { next_header: 6, offset: 16, more: false, id: 2 };
+        let mut buf = Vec::new();
+        h.encode(&mut buf);
+        buf[3] |= 0b110; // the two reserved bits between offset and M
+        let (back, _) = FragmentHeader::parse(&buf).unwrap();
+        assert_eq!(back, h);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn rejects_offset_beyond_thirteen_bit_field() {
+        let mut buf = Vec::new();
+        FragmentHeader { next_header: 6, offset: 1 << 16, more: false, id: 0 }.encode(&mut buf);
+    }
+
+    #[test]
+    fn offset_boundary_values_roundtrip() {
+        // 0 and the 13-bit maximum are the exact field edges
+        for offset in [0u32, 8, 8 * ((1 << 13) - 1)] {
+            let h = FragmentHeader { next_header: 6, offset, more: true, id: 3 };
+            let mut buf = Vec::new();
+            h.encode(&mut buf);
+            assert_eq!(FragmentHeader::parse(&buf).unwrap().0.offset, offset);
+        }
+    }
+
+    #[test]
+    fn rejects_empty_input() {
+        assert!(matches!(
+            FragmentHeader::parse(&[]),
+            Err(ParseWireError::Truncated { needed: 8, have: 0 })
+        ));
+    }
 }

@@ -75,6 +75,17 @@ if [[ -z "$summary" ]] || ! grep -q 'events across' <<<"$summary"; then
     exit 1
 fi
 
+# Conformance: the scripted suite runs as part of `cargo test` above;
+# here the deterministic fuzzer gets a fixed-seed smoke pass. 10k cases
+# take a few seconds in release; the hard timeout turns a fuzzer hang
+# (a stuck engine is a finding too) into a failure. Any invariant
+# violation prints the minimized script and a --case replay line.
+echo "==> smoke: conform_fuzz --seed 0xfeedbeef --iters 10000 (120s timeout)"
+timeout 120 ./target/release/conform_fuzz --seed 0xfeedbeef --iters 10000 || {
+    echo "FAIL: conform_fuzz smoke failed or timed out"
+    exit 1
+}
+
 # Tracing must stay off the hot path: with no recorder installed the
 # wire_hotpath speedups have to hold well above the noise floor of the
 # values recorded when the zero-copy datapath PR landed (the speedups
